@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  The pytest-benchmark fixture
+times the regeneration; the assertions check the reproduced *shape*
+(orderings and factor magnitudes), and the printed reports show the
+actual rows — run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them.
+"""

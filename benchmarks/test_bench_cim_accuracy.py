@@ -1,0 +1,44 @@
+"""Bench: end-to-end accuracy through the CiM path.
+
+Ties the circuit-level studies back to the paper's headline framing
+("almost no accuracy loss"): a trained classifier deployed on the
+functional macro at each (ADC resolution, word-line encoding) corner.
+Expected shape: 8-bit ADC preserves float accuracy under either
+encoding; at the macro's 5-bit design point the single coarse
+conversion of pulse-width costs real accuracy while bit-serial
+degrades gracefully — the section 3.1 trade-off, measured on a
+network instead of a matrix.
+"""
+
+import pytest
+
+from repro.experiments import cim_accuracy
+from repro.experiments.common import format_table
+
+
+def test_bench_cim_accuracy_grid(benchmark):
+    result = benchmark.pedantic(
+        cim_accuracy.run, args=(cim_accuracy.fast_config(),), rounds=1, iterations=1
+    )
+    print()
+    print(f"float accuracy: {result.float_accuracy:.3f}")
+    print(
+        format_table(
+            result.rows(),
+            ["adc_bits", "encoding", "noise", "accuracy", "fJ_per_mac"],
+        )
+    )
+    # 8-bit conversion preserves float accuracy for both encodings.
+    assert result.at(8, "bit-serial").accuracy >= result.float_accuracy - 0.1
+    assert result.at(8, "pulse-width").accuracy >= result.float_accuracy - 0.1
+    # At the 5-bit design point, bit-serial beats the single coarse
+    # pulse-width conversion.
+    assert (
+        result.at(5, "bit-serial").accuracy
+        > result.at(5, "pulse-width").accuracy
+    )
+    # And the pulse encoding's ADC frugality shows up as energy.
+    assert (
+        result.at(8, "pulse-width").energy_per_mac_fj
+        < 0.7 * result.at(8, "bit-serial").energy_per_mac_fj
+    )

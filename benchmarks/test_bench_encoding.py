@@ -1,0 +1,47 @@
+"""Bench: activation-encoding speed-accuracy trade-off (section 3.1).
+
+Not a numbered figure — the paper flags the pulse-width alternative in
+one sentence — but the axes it names (cycles vs accuracy) are measured
+here for all three encodings at 2/4/8-bit activations.
+"""
+
+from repro.experiments import encoding_study
+from repro.experiments.common import format_table
+
+
+def test_bench_encoding_design_space(benchmark):
+    result = benchmark(encoding_study.run, encoding_study.fast_config())
+    print()
+    print(
+        format_table(
+            result.rows(),
+            [
+                "encoding",
+                "bits",
+                "wl_cycles",
+                "conv/col",
+                "rel_error",
+                "fJ_per_mac",
+                "ns_per_vec",
+            ],
+        )
+    )
+    keys = result.by_key()
+    # Speed: pulse-width < bit-serial < unary at 8-bit activations.
+    assert keys[("pulse-width", 8)].latency_ns < keys[("bit-serial", 8)].latency_ns
+    assert keys[("bit-serial", 8)].latency_ns < keys[("unary-pulse", 8)].latency_ns
+    # ADC frugality: one conversion per column for both pulse encodings.
+    assert keys[("unary-pulse", 8)].conversions_per_column == 1
+    assert keys[("pulse-width", 8)].conversions_per_column == 1
+
+
+def test_bench_pulse_width_jitter(benchmark):
+    rows = benchmark(encoding_study.jitter_sweep)
+    print()
+    print(
+        format_table(
+            [(r["jitter_sigma_slots"], r["rel_error"]) for r in rows],
+            ["jitter_slots", "rel_error"],
+        )
+    )
+    assert rows[-1]["rel_error"] > rows[0]["rel_error"]

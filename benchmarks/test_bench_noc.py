@@ -1,0 +1,56 @@
+"""Bench: NoC transport share of compute energy (Fig. 9 floorplan).
+
+The paper's energy accounting folds on-chip activation transport into
+the buffer term.  This bench checks the simplification holds on every
+benchmark model: NoC energy stays a single-digit percentage of the CiM
+compute energy under a serpentine layer-to-tile floorplan.
+"""
+
+import numpy as np
+
+from repro import models
+from repro.arch import MeshNocSpec, map_layers_to_tiles, noc_share_of_compute
+from repro.arch.mapping import map_model
+from repro.cim.spec import rom_macro_spec
+from repro.experiments.common import format_table
+
+BENCHMARKS = (
+    ("vgg8", (1, 3, 32, 32)),
+    ("resnet18", (1, 3, 32, 32)),
+    ("tiny_yolo", (1, 3, 416, 416)),
+    ("yolo", (1, 3, 416, 416)),
+)
+
+
+def _shares():
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, shape in BENCHMARKS:
+        profile = models.profile_model(models.build_model(name, rng=rng), shape)
+        mapping = map_model(profile, "yoloc")
+        compute_pj = mapping.total_macs * rom_macro_spec().energy_per_op_fj / 1000.0
+        report = map_layers_to_tiles(profile, MeshNocSpec(rows=4, cols=4))
+        rows.append(
+            (
+                name,
+                report.total_bits / 1e6,
+                report.total_energy_pj / 1e6,
+                noc_share_of_compute(profile, compute_pj),
+                report.max_link_load_bits / 1e6,
+            )
+        )
+    return rows
+
+
+def test_bench_noc_share(benchmark):
+    rows = benchmark(_shares)
+    print()
+    print(
+        format_table(
+            rows,
+            ["model", "traffic_Mb", "noc_uJ", "share_of_compute", "hot_link_Mb"],
+        )
+    )
+    # The Fig. 9 simplification is sound for every benchmark model.
+    for _, _, _, share, _ in rows:
+        assert share < 0.10

@@ -1,0 +1,66 @@
+"""Bench: ROM-CiM chiplet assembly (section 4.3.3's named future work).
+
+Sweeps the per-die area budget and compares the ROM-chiplet YOLoC
+partition against the paper's SRAM-CiM chiplet baseline on the YOLO
+(DarkNet-19) model: die count, total silicon, and per-inference energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.arch import chiplet_scaling, partition_summary
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def yolo_profile():
+    model = models.build_model("yolo", rng=np.random.default_rng(0))
+    return models.profile_model(model, (1, 3, 416, 416))
+
+
+def test_bench_rom_chiplet_scaling(benchmark, yolo_profile):
+    result = benchmark(
+        chiplet_scaling, yolo_profile, (25.0, 50.0, 100.0), "yolo"
+    )
+    print()
+    rows = [
+        (
+            p.die_area_mm2,
+            p.rom_chips,
+            p.sram_chips,
+            p.rom_area_cm2,
+            p.sram_area_cm2,
+            p.rom_energy_uj,
+            p.sram_energy_uj,
+        )
+        for p in result.points
+    ]
+    print(
+        format_table(
+            rows,
+            [
+                "die_mm2",
+                "rom_chips",
+                "sram_chips",
+                "rom_cm2",
+                "sram_cm2",
+                "rom_uJ",
+                "sram_uJ",
+            ],
+        )
+    )
+    for point in result.points:
+        # Order-of-magnitude fewer dies and silicon at every budget.
+        assert point.chip_count_ratio > 5
+        assert point.sram_area_cm2 > 5 * point.rom_area_cm2
+        # Energy near parity: branch MACs offset the link saving.
+        assert point.energy_ratio == pytest.approx(1.0, abs=0.2)
+
+
+def test_bench_rom_chiplet_partition_summary(benchmark, yolo_profile):
+    summary = benchmark(partition_summary, yolo_profile, 25.0)
+    print()
+    print(format_table(sorted(summary.items()), ["metric", "value"]))
+    assert summary["chip_count_ratio"] > 5
+    assert summary["area_ratio"] > 5

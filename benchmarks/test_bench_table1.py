@@ -1,0 +1,39 @@
+"""Table I — ROM-CiM macro specification summary.
+
+Regenerates every Table I row from the circuit model and micro-benchmarks
+the functional bit-serial macro kernel itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim import AdcSpec, CimMacro, MacroConfig
+from repro.cim.spec import TABLE1_PAPER
+from repro.experiments import table1
+
+
+def test_bench_table1_rows(benchmark):
+    result = benchmark(table1.run)
+    print()
+    print(table1.format_report(result))
+    # Every non-zero row within 2% of the printed paper value.
+    assert result.max_relative_error() < 0.02
+    # Supporting density claims of Figs. 2/4.
+    ratios = {name: ratio for name, _, ratio in result.cell_comparison}
+    assert ratios["sram-6t"] == pytest.approx(16.0)
+    assert ratios["sram-cim-6t"] == pytest.approx(18.5)
+    assert 17 < result.sram_density_ratio < 21
+
+
+def test_bench_macro_mvm_kernel(benchmark):
+    """Throughput of the functional bit-serial MVM (one full subarray)."""
+    rng = np.random.default_rng(0)
+    config = MacroConfig(adc=AdcSpec(bits=5))
+    macro = CimMacro(config, rng.integers(-128, 128, size=(128, 32)), rng=rng)
+    x = rng.integers(0, 256, size=(128, 8))
+
+    out, stats = benchmark(macro.matmul, x)
+    assert out.shape == (32, 8)
+    assert stats.macs == 128 * 32 * 8
+    # Energy model stays calibrated to Table I's order of magnitude.
+    assert 20 < stats.energy_per_mac_fj < 500

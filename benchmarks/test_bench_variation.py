@@ -1,0 +1,45 @@
+"""Bench: static-variation tolerance of the ROM-CiM macro.
+
+Backs the section 2 reliability argument with numbers: the Monte-Carlo
+grid over cell mismatch and ADC offset, plus the headline "tolerable
+mismatch" figure at a 5%-error budget.
+"""
+
+import pytest
+
+from repro.cim import tolerable_cell_sigma, variation_sweep
+from repro.experiments.common import format_table
+
+
+def test_bench_variation_grid(benchmark):
+    results = benchmark(variation_sweep)
+    print()
+    rows = [
+        (v.cell_sigma, v.adc_offset_sigma, r.mean, r.p95, r.worst)
+        for v, r in results
+    ]
+    print(
+        format_table(
+            rows, ["cell_sigma", "adc_offset", "mean_err", "p95_err", "worst_err"]
+        )
+    )
+    by_key = {(v.cell_sigma, v.adc_offset_sigma): r for v, r in results}
+    # Error grows with cell mismatch.
+    assert by_key[(0.10, 0.0)].mean > by_key[(0.0, 0.0)].mean
+    # Behind the 5-bit ADC, a 1-2 count offset hides inside the ~4-count
+    # quantization step (it can even dither the error slightly): the
+    # offset axis stays within 20% of baseline across the sweep.
+    for offset in (1.0, 2.0):
+        assert by_key[(0.0, offset)].mean == pytest.approx(
+            by_key[(0.0, 0.0)].mean, rel=0.2
+        )
+
+
+def test_bench_tolerable_mismatch(benchmark):
+    sigma = benchmark.pedantic(
+        tolerable_cell_sigma, kwargs={"error_budget": 0.05}, rounds=1, iterations=1
+    )
+    print(f"\ntolerable cell mismatch sigma at 5% error budget: {sigma:.2f}")
+    # The bit-serial + 5-bit-ADC arithmetic absorbs a few percent of
+    # static cell mismatch without blowing the budget.
+    assert sigma >= 0.01

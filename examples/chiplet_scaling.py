@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""ROM-CiM chiplets: the paper's named future work, measured.
+
+Section 4.3.3 closes with "future works ... (including ROM-CiM
+chiplets) are promising".  This example partitions the YOLoC
+organization across multiple dies and compares it against the paper's
+SRAM-CiM chiplet baseline on the YOLO (DarkNet-19) model:
+
+1. sweep the per-die area budget and print die counts, total silicon,
+   and per-inference energy for both assemblies;
+2. print the single-die YOLoC area against the reticle limit — the
+   point past which chiplets stop being an optimization and become the
+   only DRAM-free deployment.
+
+Run:  python examples/chiplet_scaling.py
+"""
+
+import numpy as np
+
+from repro import models
+from repro.arch import (
+    RETICLE_LIMIT_MM2,
+    chiplet_scaling,
+    reticle_escape_area_mm2,
+)
+from repro.experiments.common import format_table
+
+
+def main() -> None:
+    print("profiling YOLO (DarkNet-19 backbone) at 416x416 ...")
+    model = models.build_model("yolo", rng=np.random.default_rng(0))
+    profile = models.profile_model(model, (1, 3, 416, 416))
+
+    print("\n=== Die-area sweep: ROM vs SRAM chiplet assemblies ===")
+    result = chiplet_scaling(
+        profile, die_areas_mm2=(15.0, 25.0, 50.0, 100.0), model_name="yolo"
+    )
+    rows = [
+        (
+            p.die_area_mm2,
+            p.rom_chips,
+            p.sram_chips,
+            p.chip_count_ratio,
+            p.rom_area_cm2,
+            p.sram_area_cm2,
+            p.rom_energy_uj,
+            p.sram_energy_uj,
+        )
+        for p in result.points
+    ]
+    print(
+        format_table(
+            rows,
+            [
+                "die_mm2",
+                "rom_chips",
+                "sram_chips",
+                "chipsX",
+                "rom_cm2",
+                "sram_cm2",
+                "rom_uJ",
+                "sram_uJ",
+            ],
+        )
+    )
+
+    monolithic = reticle_escape_area_mm2(profile)
+    print(
+        f"\nsingle-die YOLoC for YOLO: {monolithic:.0f} mm^2 "
+        f"(reticle limit {RETICLE_LIMIT_MM2:.0f} mm^2)"
+    )
+    print(
+        "ROM chiplets keep the order-of-magnitude silicon saving of the\n"
+        "single-chip YOLoC while lifting its reticle ceiling; energy lands\n"
+        "near parity with the SRAM assembly because the ReBranch layers\n"
+        "add ~15% extra MACs — the win is area and cost, not energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""YOLoC end-to-end: detection transfer + full-size system report.
+
+Part 1 trains a scaled YOLO-style detector on the synthetic "COCO
+analog", migrates it to the "VOC analog" with ReBranch, and reports
+mAP@0.5 against the fully-trainable baseline (Fig. 12's accuracy half).
+
+Part 2 evaluates the *full-size* YOLO (DarkNet-19, ~46M weights) on the
+three Fig. 13 system configurations and prints the Fig. 14 comparison:
+chip area, per-inference energy with breakdown, latency, and the
+energy-efficiency improvement of YOLoC.
+
+Run:  python examples/detection_yoloc.py
+"""
+
+import numpy as np
+
+from repro import models
+from repro.arch import SramChipletSystem, SramSingleChipSystem, YolocSystem
+from repro.experiments.detection import (
+    DetectionTrainConfig,
+    build_scaled_detector,
+    evaluate_map,
+    sample_task,
+    train_detector,
+)
+from repro.datasets import detection_suite
+from repro.rebranch import apply_rebranch
+
+
+def detection_transfer() -> None:
+    print("=== Part 1: detection transfer (scaled models) ===")
+    suite = detection_suite(seed=0, image_size=48)
+    source, target = suite["source"], suite["voc"]
+
+    (imgs, boxes, labels), (t_imgs, t_boxes, t_labels) = sample_task(
+        source, n_train=128, n_test=64, seed=0
+    )
+    detector = build_scaled_detector("yolo", source.config.num_classes,
+                                     rng=np.random.default_rng(0))
+    train_detector(detector, imgs, boxes, labels, DetectionTrainConfig(epochs=10))
+    print(f"source mAP@0.5: {evaluate_map(detector, t_imgs, t_boxes, t_labels):.3f}")
+    state = detector.state_dict()
+
+    (imgs, boxes, labels), (t_imgs, t_boxes, t_labels) = sample_task(
+        target, n_train=128, n_test=64, seed=5
+    )
+    for method in ("all-trainable (SRAM-CiM)", "rebranch (YOLoC)"):
+        model = build_scaled_detector("yolo", target.config.num_classes,
+                                      rng=np.random.default_rng(1))
+        model.load_state_dict(state)
+        if "rebranch" in method:
+            apply_rebranch(model.backbone, d=4, u=4, skip_last=False,
+                           rng=np.random.default_rng(2))
+        train_detector(model, imgs, boxes, labels, DetectionTrainConfig(epochs=8))
+        trainable = sum(p.size for p in model.parameters() if p.requires_grad)
+        print(
+            f"{method:28s} mAP@0.5={evaluate_map(model, t_imgs, t_boxes, t_labels):.3f}"
+            f"  trainable={trainable:,}"
+        )
+
+
+def system_report() -> None:
+    print("\n=== Part 2: full-size YOLO system evaluation (Fig. 14) ===")
+    profile = models.profile_model(
+        models.yolo_v2(rng=np.random.default_rng(0)), (1, 3, 416, 416)
+    )
+    print(
+        f"YOLO (DarkNet-19): {profile.total_params / 1e6:.1f}M weights, "
+        f"{profile.total_macs / 1e9:.1f} GMAC / inference"
+    )
+
+    yoloc = YolocSystem().evaluate(profile)
+    chip_area = SramSingleChipSystem().area_for_capacity(52_000_000)
+    single = SramSingleChipSystem(chip_area_mm2=chip_area).evaluate(profile)
+    chiplet = SramChipletSystem(chiplet_area_mm2=chip_area).evaluate(profile)
+
+    for report in (yoloc, single, chiplet):
+        fractions = report.energy.fractions()
+        print(
+            f"\n{report.system}: area={report.area.total_cm2:.2f} cm^2 "
+            f"(x{report.n_chips} chip), "
+            f"E={report.energy_per_inference_uj:.0f} uJ/inf, "
+            f"latency={report.latency_ns / 1e6:.2f} ms, "
+            f"{report.tops_per_w:.1f} TOPS/W"
+        )
+        print(
+            "  energy breakdown: "
+            + ", ".join(f"{k}={v * 100:.0f}%" for k, v in fractions.items())
+        )
+    print(
+        f"\nYOLoC energy-efficiency improvement: "
+        f"{single.energy.total_pj / yoloc.energy.total_pj:.1f}x vs single chip, "
+        f"{chiplet.energy.total_pj / yoloc.energy.total_pj:.2f}x vs chiplets "
+        f"({chiplet.area.total_mm2 / yoloc.area.total_mm2:.1f}x area saving)"
+    )
+
+
+if __name__ == "__main__":
+    detection_transfer()
+    system_report()

@@ -1,0 +1,34 @@
+"""Chiplet interconnect model (Fig. 13c).
+
+The SRAM-CiM chiplet baseline spreads the model over enough chips to
+hold every weight; intermediate feature maps then cross chip boundaries
+over a ground-referenced serial link.  Link parameters follow SIMBA
+[25]: 1.17 pJ/bit at 25 Gb/s/pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChipletLinkSpec:
+    """Inter-chiplet serial link."""
+
+    energy_pj_per_bit: float = 1.17
+    bandwidth_gbps_per_pin: float = 25.0
+    pins_per_link: int = 32
+
+    @property
+    def link_bandwidth_gbps(self) -> float:
+        return self.bandwidth_gbps_per_pin * self.pins_per_link
+
+    def transfer_energy_pj(self, bits: float) -> float:
+        return bits * self.energy_pj_per_bit
+
+    def transfer_time_ns(self, bits: float) -> float:
+        return bits / self.link_bandwidth_gbps
+
+
+#: The link of Poulton et al. (JSSC'19), as used by SIMBA and the paper.
+SIMBA_LINK = ChipletLinkSpec()

@@ -1,0 +1,195 @@
+"""Weight placement: which parameters live in ROM-CiM vs SRAM-CiM.
+
+Implements the YOLoC policy of Fig. 9: the backbone trunk plus the
+frozen residual-(de)compression point-wise layers go to ROM-CiM; the
+trainable res-conv branches and the prediction head go to SRAM-CiM.
+Also derives the per-inference MAC split and the DRAM weight-reload
+factor used by the system energy model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.models.profile import LayerProfile, ModelProfile
+
+
+@dataclass
+class LayerPlacement:
+    """Placement decision for one weight layer."""
+
+    layer: LayerProfile
+    #: Weight bits in ROM-CiM (trunk + compress/decompress).
+    rom_bits: int
+    #: Weight bits in SRAM-CiM (res-conv or fully-trainable layer).
+    sram_bits: int
+    #: MACs executed on ROM arrays per inference.
+    rom_macs: int
+    #: MACs executed on SRAM arrays per inference.
+    sram_macs: int
+    has_branch: bool
+
+
+@dataclass
+class WeightMapping:
+    """Aggregate mapping of a model onto a YOLoC-style chip."""
+
+    placements: List[LayerPlacement] = field(default_factory=list)
+    weight_bits: int = 8
+    activation_bits: int = 8
+
+    @property
+    def rom_weight_bits(self) -> int:
+        return sum(p.rom_bits for p in self.placements)
+
+    @property
+    def sram_weight_bits(self) -> int:
+        return sum(p.sram_bits for p in self.placements)
+
+    @property
+    def total_weight_bits(self) -> int:
+        return self.rom_weight_bits + self.sram_weight_bits
+
+    @property
+    def rom_macs(self) -> int:
+        return sum(p.rom_macs for p in self.placements)
+
+    @property
+    def sram_macs(self) -> int:
+        return sum(p.sram_macs for p in self.placements)
+
+    @property
+    def total_macs(self) -> int:
+        return self.rom_macs + self.sram_macs
+
+    @property
+    def trainable_fraction(self) -> float:
+        """Fraction of weight bits that remain updatable (SRAM-resident)."""
+        total = self.total_weight_bits
+        return self.sram_weight_bits / total if total else 0.0
+
+
+def _branch_costs(
+    layer: LayerProfile, d: int, u: int
+) -> Tuple[int, int, int, int]:
+    """ReBranch costs for one trunk conv (Fig. 7).
+
+    Returns ``(rom_extra_params, sram_params, rom_extra_macs, sram_macs)``
+    where the ROM extras are the point-wise compress (N -> N/D) and
+    decompress (M/U -> M) layers and the SRAM part is the res-conv
+    (N/D -> M/U with the trunk's kernel).
+    """
+    rows, cols = layer.matrix_shape  # (Cin*kh*kw, Cout)
+    out_positions = layer.out_shape[2] * layer.out_shape[3]
+    in_c = layer.in_shape[1]
+    out_c = cols
+    kernel_sq = rows // in_c  # kh*kw
+
+    c_over_d = max(1, in_c // d)
+    m_over_u = max(1, out_c // u)
+    in_positions = layer.in_shape[2] * layer.in_shape[3]
+
+    compress_params = in_c * c_over_d
+    decompress_params = m_over_u * out_c
+    resconv_params = c_over_d * m_over_u * kernel_sq
+
+    compress_macs = in_positions * compress_params
+    decompress_macs = out_positions * decompress_params
+    resconv_macs = out_positions * resconv_params
+
+    rom_extra_params = compress_params + decompress_params
+    rom_extra_macs = compress_macs + decompress_macs
+    return rom_extra_params, resconv_params, rom_extra_macs, resconv_macs
+
+
+def map_model(
+    profile: ModelProfile,
+    mode: str = "yoloc",
+    d: int = 4,
+    u: int = 4,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    trainable_tail_layers: int = 1,
+) -> WeightMapping:
+    """Map a profiled model onto CiM arrays.
+
+    Modes
+    -----
+    ``"yoloc"``
+        Trunk convs frozen in ROM with ReBranch (compression ``d``,
+        decompression ``u``); the last ``trainable_tail_layers`` weight
+        layers (the prediction head / classifier) stay fully trainable in
+        SRAM-CiM.
+    ``"all_sram"``
+        Everything in SRAM-CiM (the Fig. 13b/c baselines).
+    ``"all_rom"``
+        Everything except the tail frozen in ROM with *no* branch
+        (Option II's extreme; used for area accounting of Fig. 10).
+    """
+    if mode not in ("yoloc", "all_sram", "all_rom"):
+        raise ValueError(f"unknown mapping mode {mode!r}")
+    if d < 1 or u < 1:
+        raise ValueError("compression ratios must be >= 1")
+
+    weight_layers = profile.weight_layers()
+    if not weight_layers:
+        raise ValueError("model has no weight layers to map")
+    tail_start = len(weight_layers) - trainable_tail_layers
+
+    mapping = WeightMapping(weight_bits=weight_bits, activation_bits=activation_bits)
+    for index, layer in enumerate(weight_layers):
+        bits = layer.params * weight_bits
+        is_tail = index >= tail_start
+        if mode == "all_sram" or is_tail:
+            mapping.placements.append(
+                LayerPlacement(layer, 0, bits, 0, layer.macs, has_branch=False)
+            )
+            continue
+        if mode == "all_rom" or layer.kind != "conv":
+            # Linear mid-layers (VGG hidden FC) are frozen without branch.
+            mapping.placements.append(
+                LayerPlacement(layer, bits, 0, layer.macs, 0, has_branch=False)
+            )
+            continue
+        rom_extra_p, sram_p, rom_extra_m, sram_m = _branch_costs(layer, d, u)
+        mapping.placements.append(
+            LayerPlacement(
+                layer,
+                rom_bits=bits + rom_extra_p * weight_bits,
+                sram_bits=sram_p * weight_bits,
+                rom_macs=layer.macs + rom_extra_m,
+                sram_macs=sram_m,
+                has_branch=True,
+            )
+        )
+    return mapping
+
+
+def activation_traffic_bits(profile: ModelProfile, activation_bits: int = 8) -> int:
+    """Total activation bits written per inference (one write per layer)."""
+    return sum(
+        layer.output_activations * activation_bits for layer in profile.layers
+    )
+
+
+def max_activation_bits(profile: ModelProfile, activation_bits: int = 8) -> int:
+    """Largest single feature map, which sets the tiling requirement."""
+    return profile.max_activation_footprint() * activation_bits
+
+
+def weight_reload_factor(
+    profile: ModelProfile, cache_bits: int, activation_bits: int = 8
+) -> int:
+    """How many times non-resident weights stream from DRAM per inference.
+
+    When the largest feature map exceeds the activation cache, the image
+    is processed in spatial tiles and every non-resident weight is
+    re-fetched once per tile (fused-tiling dataflow).  Models whose
+    activations fit take exactly one pass.
+    """
+    if cache_bits <= 0:
+        raise ValueError("cache must be positive")
+    biggest = max_activation_bits(profile, activation_bits)
+    return max(1, math.ceil(biggest / cache_bits))

@@ -1,0 +1,69 @@
+"""CACTI-style buffer and DRAM models.
+
+The paper obtains SRAM-buffer and DRAM read/write energy and latency
+from CACTI [24].  CACTI itself is a large C++ tool; this module embeds
+the standard analytic scaling laws with 28nm-class constants of the
+same magnitude, which is all the system comparison consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default on-chip activation cache: 12 Mb (1.5 MB).
+CACHE_BITS_DEFAULT: int = 12 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SramBufferModel:
+    """On-chip SRAM cache/buffer (non-CiM, Fig. 9 "Cache").
+
+    Energy per bit follows the CACTI wire-dominated scaling
+    ``e = e0 * (capacity / 1Mb) ** wire_exponent``; area uses the 6T cell
+    with a fixed array efficiency.
+    """
+
+    capacity_bits: int = CACHE_BITS_DEFAULT
+    #: Read/write energy per bit at 1 Mb capacity (pJ/bit), 28nm-class.
+    e0_pj_per_bit: float = 0.15
+    wire_exponent: float = 0.25
+    cell_area_um2: float = 0.014 * 16.0  # compact 6T
+    array_efficiency: float = 0.7
+
+    def __post_init__(self):
+        if self.capacity_bits <= 0:
+            raise ValueError("cache capacity must be positive")
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        scale = (self.capacity_bits / 1e6) ** self.wire_exponent
+        return self.e0_pj_per_bit * scale
+
+    @property
+    def area_mm2(self) -> float:
+        return self.capacity_bits * self.cell_area_um2 * 1e-6 / self.array_efficiency
+
+    def access_energy_pj(self, bits: float) -> float:
+        """Energy to move ``bits`` through the buffer once."""
+        return bits * self.energy_pj_per_bit
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Off-chip DRAM interface (CACTI-IO-class numbers).
+
+    ``energy_pj_per_bit`` covers device + channel + PHY; the calibrated
+    default reproduces the relative weight-reload overheads of Fig. 14
+    (see EXPERIMENTS.md for the sensitivity discussion).
+    """
+
+    energy_pj_per_bit: float = 10.0
+    bandwidth_gbps: float = 204.8  # 25.6 GB/s LPDDR4-class channel
+    #: Idle/refresh power drawn while the interface stays enabled (mW).
+    static_power_mw: float = 50.0
+
+    def access_energy_pj(self, bits: float) -> float:
+        return bits * self.energy_pj_per_bit
+
+    def transfer_time_ns(self, bits: float) -> float:
+        return bits / self.bandwidth_gbps

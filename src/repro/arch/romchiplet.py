@@ -1,0 +1,270 @@
+"""ROM-CiM chiplets — the paper's named future work (section 4.3.3).
+
+"Future works that thoroughly exploit the ROM-CiM design space and
+cross-layer co-optimizations (including ROM-CiM chiplets) are
+promising."  This module builds that system: the YOLoC organization
+(ROM-CiM trunk + SRAM-CiM branch + cache per die) partitioned across as
+many chiplets as a per-die area budget requires, connected by the same
+SIMBA-class serial link the SRAM-CiM chiplet baseline uses.
+
+The expected shape: because ROM-CiM is ~19x denser, a ROM chiplet
+assembly needs roughly an order of magnitude fewer dies and total
+silicon than the SRAM chiplet assembly for the same model, and it
+lifts the single-chip YOLoC's reticle ceiling.  Per-inference energy
+lands near parity: the ReBranch layers add ~15% extra MACs, which eats
+the interconnect saving from cutting the network in fewer places — the
+assembly's win is area and cost, not energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.system import (
+    AreaBreakdown,
+    BaseSystem,
+    EnergyBreakdown,
+    INFERENCES_PER_BOOT,
+    ROM_MACRO_AREA_SPLIT,
+    SRAM_MACRO_AREA_SPLIT,
+    SramChipletSystem,
+    SystemReport,
+    YolocSystem,
+    _macro_area_breakdown,
+)
+from repro.arch.mapping import activation_traffic_bits, map_model
+from repro.models.profile import ModelProfile
+
+
+class RomChipletSystem(BaseSystem):
+    """YOLoC partitioned over multiple dies of at most ``die_area_mm2``.
+
+    Each die carries its share of ROM-CiM trunk macros, the SRAM-CiM
+    macros for the ReBranch layers mapped to it, and a local cache.
+    Layer boundaries that land on die boundaries ship activations over
+    the chiplet link; ``boundary_activation_fraction`` is the share of
+    total activation traffic that crosses (same convention as the
+    SRAM-CiM chiplet baseline, scaled by how many cut points the
+    partition actually has).
+    """
+
+    name = "rom-chiplet"
+
+    def __init__(
+        self,
+        die_area_mm2: float = 50.0,
+        d: int = 4,
+        u: int = 4,
+        boundary_activation_fraction: float = 0.5,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if die_area_mm2 <= 0:
+            raise ValueError(f"die area must be positive, got {die_area_mm2}")
+        if not 0 <= boundary_activation_fraction <= 1:
+            raise ValueError("boundary fraction must be in [0, 1]")
+        self.die_area_mm2 = die_area_mm2
+        self.d = d
+        self.u = u
+        self.boundary_activation_fraction = boundary_activation_fraction
+
+    def _die_budget_mm2(self) -> float:
+        """Macro area one die can host next to its cache and control."""
+        ctrl_share = 0.05
+        budget = self.die_area_mm2 * (1 - ctrl_share) - self.cache.area_mm2
+        if budget <= 0:
+            raise ValueError(
+                f"a {self.die_area_mm2} mm^2 die cannot fit the "
+                f"{self.cache.area_mm2:.1f} mm^2 cache"
+            )
+        return budget
+
+    def n_chips_for(self, profile: ModelProfile) -> int:
+        mapping = map_model(
+            profile, "yoloc", d=self.d, u=self.u, weight_bits=self.weight_bits
+        )
+        rom_macros = max(
+            1, math.ceil(mapping.rom_weight_bits / self.rom_spec.capacity_bits)
+        )
+        sram_macros = max(
+            1, math.ceil(mapping.sram_weight_bits / self.sram_spec.capacity_bits)
+        )
+        macro_area = (
+            rom_macros * self.rom_spec.area_mm2 + sram_macros * self.sram_spec.area_mm2
+        )
+        return max(1, math.ceil(macro_area / self._die_budget_mm2()))
+
+    def evaluate(self, profile: ModelProfile) -> SystemReport:
+        mapping = map_model(
+            profile, "yoloc", d=self.d, u=self.u, weight_bits=self.weight_bits
+        )
+        rom_macros = max(
+            1, math.ceil(mapping.rom_weight_bits / self.rom_spec.capacity_bits)
+        )
+        sram_macros = max(
+            1, math.ceil(mapping.sram_weight_bits / self.sram_spec.capacity_bits)
+        )
+        n_chips = self.n_chips_for(profile)
+
+        rom_parts = _macro_area_breakdown(
+            rom_macros, self.rom_spec, ROM_MACRO_AREA_SPLIT
+        )
+        sram_parts = _macro_area_breakdown(
+            sram_macros, self.sram_spec, SRAM_MACRO_AREA_SPLIT
+        )
+        macro_area = (
+            rom_macros * self.rom_spec.area_mm2 + sram_macros * self.sram_spec.area_mm2
+        )
+        ctrl_extra = 0.05 * (macro_area + n_chips * self.cache.area_mm2)
+        area = AreaBreakdown(
+            array_mm2=rom_parts["array"] + sram_parts["array"],
+            adc_mm2=rom_parts["adc"] + sram_parts["adc"],
+            rw_mm2=rom_parts["rw"] + sram_parts["rw"],
+            buffer_mm2=n_chips * self.cache.area_mm2,
+            ctrl_mm2=rom_parts["ctrl"] + sram_parts["ctrl"] + ctrl_extra,
+            rom_cim_mm2=rom_macros * self.rom_spec.area_mm2,
+            sram_cim_mm2=sram_macros * self.sram_spec.area_mm2,
+        )
+
+        act_bits = activation_traffic_bits(profile, self.activation_bits)
+        # With k dies the network is cut k-1 times; normalize against the
+        # SRAM-chiplet convention (flat fraction once more than one die).
+        cut_scale = (n_chips - 1) / n_chips if n_chips > 1 else 0.0
+        crossing = act_bits * self.boundary_activation_fraction * cut_scale
+
+        compute = self._compute_energy_pj(mapping.rom_macs, mapping.sram_macs)
+        boot_pj = (
+            self.dram.access_energy_pj(mapping.sram_weight_bits) / INFERENCES_PER_BOOT
+        )
+        energy = EnergyBreakdown(
+            cim_pj=compute["cim"],
+            peripheral_pj=compute["peripheral"],
+            buffer_pj=self._buffer_energy_pj(profile),
+            dram_pj=boot_pj,
+            interconnect_pj=self.link.transfer_energy_pj(crossing),
+        )
+
+        rom_gops = rom_macros * self.rom_spec.throughput_gops
+        sram_gops = sram_macros * self.sram_spec.throughput_gops
+        compute_latency = max(
+            mapping.rom_macs / rom_gops, mapping.sram_macs / sram_gops
+        )
+        link_latency = self.link.transfer_time_ns(crossing)
+        return SystemReport(
+            system=self.name,
+            area=area,
+            energy=energy,
+            latency_ns=compute_latency + link_latency,
+            macs=mapping.total_macs,
+            n_chips=n_chips,
+            interconnect_traffic_bits=int(crossing),
+            mapping=mapping,
+        )
+
+
+@dataclass
+class ChipletScalingPoint:
+    """ROM vs SRAM chiplet assemblies at one die-area budget."""
+
+    die_area_mm2: float
+    rom_chips: int
+    sram_chips: int
+    rom_energy_uj: float
+    sram_energy_uj: float
+    rom_area_cm2: float
+    sram_area_cm2: float
+
+    @property
+    def chip_count_ratio(self) -> float:
+        return self.sram_chips / self.rom_chips
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.sram_energy_uj / self.rom_energy_uj
+
+
+@dataclass
+class ChipletScalingResult:
+    model: str
+    points: List[ChipletScalingPoint] = field(default_factory=list)
+
+
+def chiplet_scaling(
+    profile: ModelProfile,
+    die_areas_mm2: Sequence[float] = (25.0, 50.0, 100.0),
+    model_name: str = "model",
+    **kwargs,
+) -> ChipletScalingResult:
+    """Sweep the die-area budget for ROM vs SRAM chiplet assemblies."""
+    result = ChipletScalingResult(model=model_name)
+    for die_area in die_areas_mm2:
+        rom = RomChipletSystem(die_area_mm2=die_area, **kwargs).evaluate(profile)
+        sram = SramChipletSystem(chiplet_area_mm2=die_area, **kwargs).evaluate(profile)
+        result.points.append(
+            ChipletScalingPoint(
+                die_area_mm2=die_area,
+                rom_chips=rom.n_chips,
+                sram_chips=sram.n_chips,
+                rom_energy_uj=rom.energy_per_inference_uj,
+                sram_energy_uj=sram.energy_per_inference_uj,
+                rom_area_cm2=rom.area.total_cm2,
+                sram_area_cm2=sram.area.total_cm2,
+            )
+        )
+    return result
+
+
+def reticle_escape_area_mm2(
+    profile: ModelProfile, d: int = 4, u: int = 4, **kwargs
+) -> float:
+    """Single-die YOLoC area for the model — what chiplets must beat.
+
+    When this exceeds the reticle limit (~858 mm^2 at 26x33 mm), a
+    monolithic YOLoC cannot be manufactured and the ROM-chiplet
+    assembly is the only DRAM-free deployment left.
+    """
+    report = YolocSystem(d=d, u=u, **kwargs).evaluate(profile)
+    return report.area.total_mm2
+
+
+#: Standard full-field reticle, 26 mm x 33 mm.
+RETICLE_LIMIT_MM2 = 858.0
+
+
+def partition_summary(
+    profile: ModelProfile, die_area_mm2: float = 50.0, **kwargs
+) -> Dict[str, float]:
+    """One-line comparison used by the example script and the bench."""
+    rom = RomChipletSystem(die_area_mm2=die_area_mm2, **kwargs).evaluate(profile)
+    sram = SramChipletSystem(chiplet_area_mm2=die_area_mm2, **kwargs).evaluate(profile)
+    monolithic = reticle_escape_area_mm2(profile, **kwargs)
+    return {
+        "die_area_mm2": die_area_mm2,
+        "rom_chips": rom.n_chips,
+        "sram_chips": sram.n_chips,
+        "chip_count_ratio": sram.n_chips / rom.n_chips,
+        "energy_ratio": sram.energy.total_pj / rom.energy.total_pj,
+        "area_ratio": sram.area.total_mm2 / rom.area.total_mm2,
+        "monolithic_area_mm2": monolithic,
+        "needs_chiplets": float(monolithic > RETICLE_LIMIT_MM2),
+    }
+
+
+def evaluate_four_systems(
+    profile: ModelProfile, die_area_mm2: float = 50.0, **kwargs
+) -> Dict[str, SystemReport]:
+    """The Fig. 13 trio plus the ROM-chiplet assembly, on one profile.
+
+    Extends :func:`repro.arch.system.evaluate_all_systems` with the
+    section 4.3.3 future-work configuration so all four deployments can
+    be compared in one call.
+    """
+    from repro.arch.system import evaluate_all_systems
+
+    reports = evaluate_all_systems(profile, **kwargs)
+    reports["rom-chiplet"] = RomChipletSystem(
+        die_area_mm2=die_area_mm2, **kwargs
+    ).evaluate(profile)
+    return reports

@@ -1,0 +1,452 @@
+"""The three system configurations of Fig. 13 and their evaluation.
+
+Every system consumes a full-size :class:`~repro.models.profile.ModelProfile`
+and produces a :class:`SystemReport` with the quantities the paper
+plots: chip area and its breakdown (Figs. 12, 14b), per-inference energy
+and its breakdown (Fig. 14c), latency, and energy efficiency (Fig. 14a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.arch.chiplet import SIMBA_LINK, ChipletLinkSpec
+from repro.arch.mapping import (
+    WeightMapping,
+    activation_traffic_bits,
+    map_model,
+    weight_reload_factor,
+)
+from repro.arch.memory import DramSpec, SramBufferModel
+from repro.cim.spec import MacroSpec, rom_macro_spec, sram_macro_spec
+from repro.models.profile import ModelProfile
+
+#: Macro area decomposition used for the Fig. 14(b)-style breakdown.
+#: ROM macros have no write path; SRAM-CiM macros spend ~25% on the
+#: read/write interface (the paper: "ROM-CiM is more compact than
+#: SRAM-CiM with a simplified R/W interface").
+ROM_MACRO_AREA_SPLIT = {"array": 0.50, "adc": 0.30, "ctrl": 0.20, "rw": 0.0}
+SRAM_MACRO_AREA_SPLIT = {"array": 0.35, "adc": 0.25, "ctrl": 0.15, "rw": 0.25}
+
+#: Share of macro compute energy on the analog CiM path (word lines,
+#: bit lines, ADC) vs digital peripherals (control, shift-and-add);
+#: derived from the Table I calibration in ``repro.cim.spec``.
+CIM_ENERGY_FRACTION = 0.64
+
+#: Energy to write one bit into an SRAM-CiM array during weight reload.
+SRAM_CIM_WRITE_PJ_PER_BIT = 0.05
+
+#: Power-on weight loads amortized across this many inferences.
+INFERENCES_PER_BOOT = 10_000
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-inference energy, picojoules."""
+
+    cim_pj: float = 0.0
+    peripheral_pj: float = 0.0
+    buffer_pj: float = 0.0
+    dram_pj: float = 0.0
+    interconnect_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.cim_pj
+            + self.peripheral_pj
+            + self.buffer_pj
+            + self.dram_pj
+            + self.interconnect_pj
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_pj
+        if total <= 0:
+            return {}
+        return {
+            "cim": self.cim_pj / total,
+            "peripheral": (self.peripheral_pj + self.buffer_pj) / total,
+            "dram": self.dram_pj / total,
+            "interconnect": self.interconnect_pj / total,
+        }
+
+
+@dataclass
+class AreaBreakdown:
+    """Chip area, mm^2, in both of the paper's groupings."""
+
+    # Fig. 14(b) categories
+    array_mm2: float = 0.0
+    adc_mm2: float = 0.0
+    rw_mm2: float = 0.0
+    buffer_mm2: float = 0.0
+    ctrl_mm2: float = 0.0
+    # Fig. 12 categories
+    rom_cim_mm2: float = 0.0
+    sram_cim_mm2: float = 0.0
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.array_mm2
+            + self.adc_mm2
+            + self.rw_mm2
+            + self.buffer_mm2
+            + self.ctrl_mm2
+        )
+
+    @property
+    def total_cm2(self) -> float:
+        return self.total_mm2 / 100.0
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_mm2
+        if total <= 0:
+            return {}
+        return {
+            "array": self.array_mm2 / total,
+            "adc": self.adc_mm2 / total,
+            "rw": self.rw_mm2 / total,
+            "buffer": self.buffer_mm2 / total,
+            "peripheral": self.ctrl_mm2 / total,
+        }
+
+
+@dataclass
+class SystemReport:
+    """Evaluation result of one (system, model) pair."""
+
+    system: str
+    area: AreaBreakdown
+    energy: EnergyBreakdown
+    latency_ns: float
+    macs: int
+    n_chips: int = 1
+    dram_traffic_bits: int = 0
+    interconnect_traffic_bits: int = 0
+    fits_on_chip: bool = True
+    mapping: Optional[WeightMapping] = None
+
+    @property
+    def energy_per_inference_uj(self) -> float:
+        return self.energy.total_pj / 1e6
+
+    @property
+    def tops_per_w(self) -> float:
+        """Ops per picojoule == TOPS/W (1 op = one 8b MAC)."""
+        return self.macs / self.energy.total_pj if self.energy.total_pj else 0.0
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.macs / self.latency_ns if self.latency_ns else 0.0
+
+
+def _macro_area_breakdown(
+    n_macros: int, spec: MacroSpec, split: Dict[str, float]
+) -> Dict[str, float]:
+    area = n_macros * spec.area_mm2
+    return {key: area * fraction for key, fraction in split.items()}
+
+
+class BaseSystem:
+    """Shared plumbing for the three Fig. 13 configurations."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        rom_spec: Optional[MacroSpec] = None,
+        sram_spec: Optional[MacroSpec] = None,
+        cache: Optional[SramBufferModel] = None,
+        dram: Optional[DramSpec] = None,
+        link: ChipletLinkSpec = SIMBA_LINK,
+        activation_bits: int = 8,
+        weight_bits: int = 8,
+    ):
+        self.rom_spec = rom_spec if rom_spec is not None else rom_macro_spec()
+        self.sram_spec = sram_spec if sram_spec is not None else sram_macro_spec()
+        self.cache = cache if cache is not None else SramBufferModel()
+        self.dram = dram if dram is not None else DramSpec()
+        self.link = link
+        self.activation_bits = activation_bits
+        self.weight_bits = weight_bits
+
+    # -- shared cost helpers ----------------------------------------------
+    def _compute_energy_pj(self, rom_macs: int, sram_macs: int) -> Dict[str, float]:
+        rom_e = rom_macs * self.rom_spec.energy_per_op_fj / 1000.0
+        sram_e = sram_macs * self.sram_spec.energy_per_op_fj / 1000.0
+        total = rom_e + sram_e
+        return {
+            "cim": total * CIM_ENERGY_FRACTION,
+            "peripheral": total * (1.0 - CIM_ENERGY_FRACTION),
+        }
+
+    def _buffer_energy_pj(self, profile: ModelProfile) -> float:
+        traffic = activation_traffic_bits(profile, self.activation_bits)
+        # Each activation is written once and read once on average.
+        return self.cache.access_energy_pj(2 * traffic)
+
+    def evaluate(self, profile: ModelProfile) -> SystemReport:
+        raise NotImplementedError
+
+
+class YolocSystem(BaseSystem):
+    """Fig. 13(a): ROM-CiM backbone + SRAM-CiM ReBranch and prediction."""
+
+    name = "yoloc"
+
+    def __init__(self, d: int = 4, u: int = 4, **kwargs):
+        super().__init__(**kwargs)
+        self.d = d
+        self.u = u
+
+    def mapping_for(self, profile: ModelProfile) -> WeightMapping:
+        return map_model(
+            profile, "yoloc", d=self.d, u=self.u, weight_bits=self.weight_bits
+        )
+
+    def macro_counts(self, mapping: WeightMapping) -> Dict[str, int]:
+        return {
+            "rom": max(1, math.ceil(mapping.rom_weight_bits / self.rom_spec.capacity_bits)),
+            "sram": max(
+                1, math.ceil(mapping.sram_weight_bits / self.sram_spec.capacity_bits)
+            ),
+        }
+
+    def evaluate(self, profile: ModelProfile) -> SystemReport:
+        mapping = self.mapping_for(profile)
+        counts = self.macro_counts(mapping)
+
+        rom_parts = _macro_area_breakdown(counts["rom"], self.rom_spec, ROM_MACRO_AREA_SPLIT)
+        sram_parts = _macro_area_breakdown(
+            counts["sram"], self.sram_spec, SRAM_MACRO_AREA_SPLIT
+        )
+        macro_area = counts["rom"] * self.rom_spec.area_mm2 + counts[
+            "sram"
+        ] * self.sram_spec.area_mm2
+        ctrl_extra = 0.05 * (macro_area + self.cache.area_mm2)
+        area = AreaBreakdown(
+            array_mm2=rom_parts["array"] + sram_parts["array"],
+            adc_mm2=rom_parts["adc"] + sram_parts["adc"],
+            rw_mm2=rom_parts["rw"] + sram_parts["rw"],
+            buffer_mm2=self.cache.area_mm2,
+            ctrl_mm2=rom_parts["ctrl"] + sram_parts["ctrl"] + ctrl_extra,
+            rom_cim_mm2=counts["rom"] * self.rom_spec.area_mm2,
+            sram_cim_mm2=counts["sram"] * self.sram_spec.area_mm2,
+        )
+
+        compute = self._compute_energy_pj(mapping.rom_macs, mapping.sram_macs)
+        boot_pj = (
+            self.dram.access_energy_pj(mapping.sram_weight_bits) / INFERENCES_PER_BOOT
+        )
+        energy = EnergyBreakdown(
+            cim_pj=compute["cim"],
+            peripheral_pj=compute["peripheral"],
+            buffer_pj=self._buffer_energy_pj(profile),
+            dram_pj=boot_pj,
+        )
+
+        rom_gops = counts["rom"] * self.rom_spec.throughput_gops
+        sram_gops = counts["sram"] * self.sram_spec.throughput_gops
+        latency = max(mapping.rom_macs / rom_gops, mapping.sram_macs / sram_gops)
+        return SystemReport(
+            system=self.name,
+            area=area,
+            energy=energy,
+            latency_ns=latency,
+            macs=mapping.total_macs,
+            mapping=mapping,
+        )
+
+    def latency_overhead(self, profile: ModelProfile) -> float:
+        """Fractional latency cost of the residual branch (paper: <8%)."""
+        report = self.evaluate(profile)
+        trunk_bits = sum(
+            p.layer.params * self.weight_bits for p in report.mapping.placements
+        )
+        trunk_macros = max(1, math.ceil(trunk_bits / self.rom_spec.capacity_bits))
+        trunk_latency = profile.total_macs / (
+            trunk_macros * self.rom_spec.throughput_gops
+        )
+        return report.latency_ns / trunk_latency - 1.0
+
+
+class SramSingleChipSystem(BaseSystem):
+    """Fig. 13(b): iso-area all-SRAM-CiM chip backed by DRAM."""
+
+    name = "sram-single-chip"
+
+    def __init__(self, chip_area_mm2: Optional[float] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.chip_area_mm2 = chip_area_mm2
+
+    def area_for_capacity(self, capacity_bits: int) -> float:
+        """Chip area (mm^2) whose macro array holds ``capacity_bits``.
+
+        Used by the Fig. 14 protocol: the shared chip is sized so the
+        smallest benchmark (VGG-8) fits entirely on chip.
+        """
+        n_macros = math.ceil(capacity_bits / self.sram_spec.capacity_bits)
+        macro_area = n_macros * self.sram_spec.area_mm2
+        return (macro_area + self.cache.area_mm2) / 0.95
+
+    def _resolve_chip_area(self, profile: ModelProfile) -> float:
+        if self.chip_area_mm2 is not None:
+            return self.chip_area_mm2
+        # Iso-area with the YOLoC chip for the same model (the paper's
+        # comparison protocol).
+        yoloc = YolocSystem(
+            rom_spec=self.rom_spec,
+            sram_spec=self.sram_spec,
+            cache=self.cache,
+            dram=self.dram,
+            link=self.link,
+            activation_bits=self.activation_bits,
+            weight_bits=self.weight_bits,
+        )
+        return yoloc.evaluate(profile).area.total_mm2
+
+    def evaluate(self, profile: ModelProfile) -> SystemReport:
+        chip_area = self._resolve_chip_area(profile)
+        mapping = map_model(profile, "all_sram", weight_bits=self.weight_bits)
+
+        ctrl_share = 0.05
+        usable = chip_area * (1 - ctrl_share) - self.cache.area_mm2
+        n_macros = max(1, int(usable // self.sram_spec.area_mm2))
+        capacity_bits = n_macros * self.sram_spec.capacity_bits
+
+        total_bits = mapping.total_weight_bits
+        resident = min(total_bits, capacity_bits)
+        missing = total_bits - resident
+        reload_factor = weight_reload_factor(
+            profile, self.cache.capacity_bits, self.activation_bits
+        )
+        traffic = missing * reload_factor
+        fits = missing == 0
+
+        sram_parts = _macro_area_breakdown(
+            n_macros, self.sram_spec, SRAM_MACRO_AREA_SPLIT
+        )
+        area = AreaBreakdown(
+            array_mm2=sram_parts["array"],
+            adc_mm2=sram_parts["adc"],
+            rw_mm2=sram_parts["rw"],
+            buffer_mm2=self.cache.area_mm2,
+            ctrl_mm2=sram_parts["ctrl"] + chip_area * ctrl_share,
+            sram_cim_mm2=n_macros * self.sram_spec.area_mm2,
+        )
+
+        compute = self._compute_energy_pj(0, mapping.total_macs)
+        dram_pj = self.dram.access_energy_pj(traffic) + traffic * SRAM_CIM_WRITE_PJ_PER_BIT
+        energy = EnergyBreakdown(
+            cim_pj=compute["cim"],
+            peripheral_pj=compute["peripheral"],
+            buffer_pj=self._buffer_energy_pj(profile),
+            dram_pj=dram_pj,
+        )
+
+        compute_latency = mapping.total_macs / (
+            n_macros * self.sram_spec.throughput_gops
+        )
+        dram_latency = self.dram.transfer_time_ns(traffic)
+        return SystemReport(
+            system=self.name,
+            area=area,
+            energy=energy,
+            latency_ns=max(compute_latency, dram_latency),
+            macs=mapping.total_macs,
+            dram_traffic_bits=int(traffic),
+            fits_on_chip=fits,
+            mapping=mapping,
+        )
+
+
+class SramChipletSystem(BaseSystem):
+    """Fig. 13(c): enough SRAM-CiM chiplets to hold every weight."""
+
+    name = "sram-chiplet"
+
+    def __init__(
+        self,
+        chiplet_area_mm2: Optional[float] = None,
+        boundary_activation_fraction: float = 0.5,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.chiplet_area_mm2 = chiplet_area_mm2
+        if not 0 <= boundary_activation_fraction <= 1:
+            raise ValueError("boundary fraction must be in [0, 1]")
+        self.boundary_activation_fraction = boundary_activation_fraction
+
+    def evaluate(self, profile: ModelProfile) -> SystemReport:
+        mapping = map_model(profile, "all_sram", weight_bits=self.weight_bits)
+
+        if self.chiplet_area_mm2 is not None:
+            chiplet_area = self.chiplet_area_mm2
+        else:
+            chiplet_area = SramSingleChipSystem(
+                rom_spec=self.rom_spec,
+                sram_spec=self.sram_spec,
+                cache=self.cache,
+                dram=self.dram,
+                link=self.link,
+            )._resolve_chip_area(profile)
+
+        ctrl_share = 0.05
+        usable = chiplet_area * (1 - ctrl_share) - self.cache.area_mm2
+        macros_per_chip = max(1, int(usable // self.sram_spec.area_mm2))
+        capacity_per_chip = macros_per_chip * self.sram_spec.capacity_bits
+        n_chips = max(1, math.ceil(mapping.total_weight_bits / capacity_per_chip))
+
+        sram_parts = _macro_area_breakdown(
+            n_chips * macros_per_chip, self.sram_spec, SRAM_MACRO_AREA_SPLIT
+        )
+        area = AreaBreakdown(
+            array_mm2=sram_parts["array"],
+            adc_mm2=sram_parts["adc"],
+            rw_mm2=sram_parts["rw"],
+            buffer_mm2=n_chips * self.cache.area_mm2,
+            ctrl_mm2=sram_parts["ctrl"] + n_chips * chiplet_area * ctrl_share,
+            sram_cim_mm2=n_chips * macros_per_chip * self.sram_spec.area_mm2,
+        )
+
+        act_bits = activation_traffic_bits(profile, self.activation_bits)
+        crossing = (
+            act_bits * self.boundary_activation_fraction if n_chips > 1 else 0.0
+        )
+        compute = self._compute_energy_pj(0, mapping.total_macs)
+        energy = EnergyBreakdown(
+            cim_pj=compute["cim"],
+            peripheral_pj=compute["peripheral"],
+            buffer_pj=self._buffer_energy_pj(profile),
+            interconnect_pj=self.link.transfer_energy_pj(crossing),
+        )
+
+        compute_latency = mapping.total_macs / (
+            n_chips * macros_per_chip * self.sram_spec.throughput_gops
+        )
+        link_latency = self.link.transfer_time_ns(crossing)
+        return SystemReport(
+            system=self.name,
+            area=area,
+            energy=energy,
+            latency_ns=compute_latency + link_latency,
+            macs=mapping.total_macs,
+            n_chips=n_chips,
+            interconnect_traffic_bits=int(crossing),
+            mapping=mapping,
+        )
+
+
+def evaluate_all_systems(
+    profile: ModelProfile, **kwargs
+) -> Dict[str, SystemReport]:
+    """Run the three Fig. 13 configurations on one model profile."""
+    return {
+        "yoloc": YolocSystem(**kwargs).evaluate(profile),
+        "sram-single-chip": SramSingleChipSystem(**kwargs).evaluate(profile),
+        "sram-chiplet": SramChipletSystem(**kwargs).evaluate(profile),
+    }

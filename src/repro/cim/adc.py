@@ -1,0 +1,87 @@
+"""ADC models for CiM column readout.
+
+The macro of Fig. 5 shares 16 column ADCs across 256 bit lines (16:1
+column multiplexing); each ADC digitizes the remnant bit-line charge to
+5 bits.  Quantizing a 128-row accumulation to 32 levels is the dominant
+*arithmetic* non-ideality of the macro and is modelled exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AdcSpec:
+    """A column ADC.
+
+    ``energy_fj`` is per conversion; the default is calibrated so a full
+    macro pass lands on Table I's 11.5 TOPS/W (see ``repro.cim.spec``).
+    """
+
+    bits: int = 5
+    energy_fj: float = 78.0
+    conversion_time_ns: float = 1.1
+    area_um2: float = 360.0
+
+    def __post_init__(self):
+        if self.bits < 1:
+            raise ValueError(f"ADC needs >= 1 bit, got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    def quantize_counts(self, counts: np.ndarray, full_scale: float) -> np.ndarray:
+        """Digitize bit-line accumulation counts.
+
+        ``counts`` are the number of discharging cells per column (the
+        analog MAC value); ``full_scale`` is the count mapped to the top
+        code (the number of simultaneously activated rows).  Returns the
+        reconstructed counts ``code * full_scale / (levels - 1)``.
+        """
+        if full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {full_scale}")
+        # One LSB never resolves below a single cell's discharge: when the
+        # activated row count is at most the code count, every integer
+        # count is exactly representable (step = 1).
+        step = max(1.0, full_scale / (self.levels - 1))
+        codes = np.clip(np.rint(np.asarray(counts) / step), 0, self.levels - 1)
+        return codes * step
+
+
+@dataclass
+class SharedAdcBank:
+    """A bank of ``n_adcs`` ADCs multiplexed over ``n_columns`` bit lines."""
+
+    adc: AdcSpec
+    n_adcs: int
+    n_columns: int
+
+    def __post_init__(self):
+        if self.n_columns % self.n_adcs != 0:
+            raise ValueError(
+                f"{self.n_columns} columns cannot be evenly shared by "
+                f"{self.n_adcs} ADCs"
+            )
+
+    @property
+    def mux_ratio(self) -> int:
+        return self.n_columns // self.n_adcs
+
+    def conversions_for_full_readout(self) -> int:
+        """ADC conversions needed to read every column once."""
+        return self.n_columns
+
+    def readout_time_ns(self, columns: Optional[int] = None) -> float:
+        """Time to read ``columns`` bit lines through the shared bank."""
+        columns = self.n_columns if columns is None else columns
+        rounds = -(-columns // self.n_adcs)  # ceil division
+        return rounds * self.adc.conversion_time_ns
+
+    def readout_energy_fj(self, columns: Optional[int] = None) -> float:
+        columns = self.n_columns if columns is None else columns
+        return columns * self.adc.energy_fj

@@ -1,0 +1,66 @@
+"""Bit-line charge-sharing model.
+
+The macro pre-charges every bit line, then pulses word lines; each ON
+cell (input bit high AND stored '1') discharges the line a unit amount.
+The ADC senses the remnant voltage.  This module converts ON-cell
+counts to bit-line voltages and injects the analog non-idealities
+(thermal/mismatch noise, optional voltage saturation) that SPICE-level
+simulation would capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class BitlineModel:
+    """Charge-domain bit-line behaviour.
+
+    ``v_precharge`` is the initial voltage; each ON cell removes
+    ``v_precharge / max_rows`` (linear discharge — the design regime of
+    the paper, which keeps the swing inside the ADC's linear window).
+    ``noise_sigma_counts`` is Gaussian noise expressed in ON-cell count
+    units (0 disables it); ``saturation`` optionally clips the discharge
+    at a fraction of full swing to model line non-linearity.
+    """
+
+    max_rows: int = 128
+    v_precharge: float = 0.9
+    noise_sigma_counts: float = 0.0
+    saturation: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_rows <= 0:
+            raise ValueError("max_rows must be positive")
+        if self.noise_sigma_counts < 0:
+            raise ValueError("noise sigma cannot be negative")
+
+    def counts_to_voltage(self, counts: np.ndarray) -> np.ndarray:
+        """Ideal remnant voltage for a given ON-cell count per column."""
+        frac = np.asarray(counts, dtype=np.float64) / self.max_rows
+        if self.saturation is not None:
+            frac = np.minimum(frac, self.saturation)
+        return self.v_precharge * (1.0 - frac)
+
+    def voltage_to_counts(self, voltage: np.ndarray) -> np.ndarray:
+        """Inverse mapping used by the sensing path."""
+        frac = 1.0 - np.asarray(voltage, dtype=np.float64) / self.v_precharge
+        return frac * self.max_rows
+
+    def observe(self, counts: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Counts as seen by the ADC: noise added, saturation applied."""
+        observed = np.asarray(counts, dtype=np.float64)
+        if self.noise_sigma_counts > 0:
+            rng = rng if rng is not None else np.random.default_rng()
+            observed = observed + rng.normal(0, self.noise_sigma_counts, observed.shape)
+        if self.saturation is not None:
+            observed = np.minimum(observed, self.saturation * self.max_rows)
+        return np.clip(observed, 0, self.max_rows)
+
+    def discharge_energy_fj(self, counts: float, cell_read_energy_fj: float) -> float:
+        """Energy of one evaluation: precharge + per-cell discharge."""
+        return counts * cell_read_energy_fj

@@ -1,0 +1,263 @@
+"""Functional bit-serial CiM macro (Fig. 5).
+
+Executes integer matrix-vector products exactly the way the hardware
+does: weights live as bit planes across physical columns, activations
+stream in as serial bits on the word lines, each column's ON-cell count
+is sensed through the bit-line model and digitized by a shared 5-bit
+ADC, and the digital shift-and-add reassembles the multi-bit result.
+
+The only deviations from an ideal integer matmul are therefore the ones
+real silicon has: ADC quantization, optional bit-line noise, and
+optional swing saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cim.adc import AdcSpec, SharedAdcBank
+from repro.cim.bitline import BitlineModel
+from repro.cim.cells import CellSpec, ROM_1T
+
+
+@dataclass
+class MacroConfig:
+    """Geometry and circuit parameters of one CiM subarray."""
+
+    rows: int = 128
+    phys_columns: int = 256
+    n_adcs: int = 16
+    adc: AdcSpec = field(default_factory=AdcSpec)
+    cell: CellSpec = ROM_1T
+    weight_bits: int = 8
+    input_bits: int = 8
+    signed_weights: bool = True
+    signed_inputs: bool = False
+    cycle_time_ns: float = 1.1125
+    #: Word-line driver energy per activated row per cycle (fJ).
+    wl_energy_fj: float = 4.4
+    #: Control / decode / shift-and-add energy per cycle (fJ); calibrated
+    #: together with the ADC energy so one inference pass hits Table I's
+    #: 11.5 TOPS/W.
+    peripheral_energy_fj_per_cycle: float = 1000.0
+    bitline: Optional[BitlineModel] = None
+
+    def __post_init__(self):
+        if self.phys_columns % self.weight_bits != 0:
+            raise ValueError(
+                f"{self.phys_columns} physical columns do not hold an integer "
+                f"number of {self.weight_bits}-bit weights"
+            )
+        if self.bitline is None:
+            self.bitline = BitlineModel(max_rows=self.rows)
+
+    @property
+    def logical_columns(self) -> int:
+        """Multi-bit weight words per row."""
+        return self.phys_columns // self.weight_bits
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.rows * self.phys_columns
+
+    def adc_bank(self) -> SharedAdcBank:
+        return SharedAdcBank(self.adc, self.n_adcs, self.phys_columns)
+
+    def weight_range(self) -> Tuple[int, int]:
+        if self.signed_weights:
+            return -(2 ** (self.weight_bits - 1)), 2 ** (self.weight_bits - 1) - 1
+        return 0, 2**self.weight_bits - 1
+
+    def input_range(self) -> Tuple[int, int]:
+        if self.signed_inputs:
+            return -(2 ** (self.input_bits - 1)), 2 ** (self.input_bits - 1) - 1
+        return 0, 2**self.input_bits - 1
+
+
+@dataclass
+class MacroStats:
+    """Cycle/energy accounting of macro activity."""
+
+    cycles: int = 0
+    adc_conversions: int = 0
+    row_activations: int = 0
+    macs: int = 0
+    wl_energy_fj: float = 0.0
+    bitline_energy_fj: float = 0.0
+    adc_energy_fj: float = 0.0
+    peripheral_energy_fj: float = 0.0
+    latency_ns: float = 0.0
+
+    @property
+    def total_energy_fj(self) -> float:
+        return (
+            self.wl_energy_fj
+            + self.bitline_energy_fj
+            + self.adc_energy_fj
+            + self.peripheral_energy_fj
+        )
+
+    @property
+    def energy_per_mac_fj(self) -> float:
+        return self.total_energy_fj / self.macs if self.macs else 0.0
+
+    def __add__(self, other: "MacroStats") -> "MacroStats":
+        return MacroStats(
+            cycles=self.cycles + other.cycles,
+            adc_conversions=self.adc_conversions + other.adc_conversions,
+            row_activations=self.row_activations + other.row_activations,
+            macs=self.macs + other.macs,
+            wl_energy_fj=self.wl_energy_fj + other.wl_energy_fj,
+            bitline_energy_fj=self.bitline_energy_fj + other.bitline_energy_fj,
+            adc_energy_fj=self.adc_energy_fj + other.adc_energy_fj,
+            peripheral_energy_fj=self.peripheral_energy_fj + other.peripheral_energy_fj,
+            latency_ns=self.latency_ns + other.latency_ns,
+        )
+
+
+def _bit_planes(codes: np.ndarray, bits: int, signed: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose integer codes into bit planes and their signed weights.
+
+    Two's-complement encoding: plane ``k`` carries weight ``2**k`` except
+    the MSB of a signed code, which carries ``-2**(bits-1)``.
+    Returns ``(planes, weights)`` with ``planes`` of shape
+    ``(bits,) + codes.shape`` and values in {0, 1}.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    unsigned = codes & ((1 << bits) - 1)  # two's-complement reinterpretation
+    planes = np.stack([(unsigned >> k) & 1 for k in range(bits)]).astype(np.float64)
+    weights = np.array([float(1 << k) for k in range(bits)])
+    if signed:
+        weights[bits - 1] = -float(1 << (bits - 1))
+    return planes, weights
+
+
+class CimMacro:
+    """One subarray programmed with an integer weight matrix.
+
+    Parameters
+    ----------
+    config:
+        Subarray geometry and circuit parameters.
+    weights:
+        Integer matrix of shape (rows_used, logical_cols_used); values
+        must fit ``config.weight_range()``.  For ROM cells the matrix is
+        fixed at mask time — :meth:`program` raises on ROM macros.
+    """
+
+    def __init__(
+        self,
+        config: MacroConfig,
+        weights: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._programmed = False
+        self._store(weights)
+        self._programmed = True
+
+    def _store(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        rows, cols = weights.shape
+        if rows > self.config.rows or cols > self.config.logical_columns:
+            raise ValueError(
+                f"weights {weights.shape} exceed subarray capacity "
+                f"({self.config.rows} x {self.config.logical_columns} words)"
+            )
+        low, high = self.config.weight_range()
+        if weights.min() < low or weights.max() > high:
+            raise ValueError(
+                f"weight codes outside [{low}, {high}] for "
+                f"{self.config.weight_bits}-bit storage"
+            )
+        self.rows_used = rows
+        self.cols_used = cols
+        self.weights = weights.astype(np.int64)
+        planes, plane_weights = _bit_planes(
+            weights, self.config.weight_bits, self.config.signed_weights
+        )
+        self._weight_planes = planes  # (wb, rows, cols)
+        self._plane_weights = plane_weights
+
+    def program(self, weights: np.ndarray) -> None:
+        """Rewrite the array — only legal for volatile (SRAM) cells."""
+        if self._programmed and not self.config.cell.volatile:
+            raise RuntimeError(
+                f"cannot reprogram a {self.config.cell.name} macro: ROM weights "
+                "are fixed at mask time (the limitation ReBranch exists to solve)"
+            )
+        self._store(weights)
+
+    # ------------------------------------------------------------------
+    def matmul(self, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
+        """Compute ``weights.T @ x`` through the analog path.
+
+        ``x`` is an integer matrix of shape (rows_used, n_vectors) (or a
+        vector of shape (rows_used,)); the return value has shape
+        (cols_used, n_vectors) (or (cols_used,)).
+        """
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if x.shape[0] != self.rows_used:
+            raise ValueError(
+                f"input has {x.shape[0]} rows, macro is programmed with "
+                f"{self.rows_used}"
+            )
+        low, high = self.config.input_range()
+        if x.min() < low or x.max() > high:
+            raise ValueError(
+                f"input codes outside [{low}, {high}] for "
+                f"{self.config.input_bits}-bit serial input"
+            )
+
+        in_planes, in_weights = _bit_planes(
+            x, self.config.input_bits, self.config.signed_inputs
+        )  # (ib, rows, n)
+
+        # ON-cell counts per (input bit, weight bit, column, vector):
+        # the physical quantity each bit line accumulates in one cycle.
+        counts = np.einsum(
+            "jrn,krc->jkcn", in_planes, self._weight_planes, optimize=True
+        )
+        observed = self.config.bitline.observe(counts, self._rng)
+        quantized = self.config.adc.quantize_counts(observed, float(self.rows_used))
+        result = np.einsum(
+            "j,k,jkcn->cn", in_weights, self._plane_weights, quantized, optimize=True
+        )
+
+        stats = self._stats_for(x, in_planes, counts)
+        return (result[:, 0] if squeeze else result), stats
+
+    def _stats_for(
+        self, x: np.ndarray, in_planes: np.ndarray, counts: np.ndarray
+    ) -> MacroStats:
+        n_vectors = x.shape[1]
+        phys_cols = self.cols_used * self.config.weight_bits
+        rounds_per_bit = -(-phys_cols // self.config.n_adcs)
+        cycles = self.config.input_bits * rounds_per_bit * n_vectors
+        conversions = self.config.input_bits * phys_cols * n_vectors
+        row_activations = int(in_planes.sum())
+        cell_e = self.config.cell.read_energy_fj
+        return MacroStats(
+            cycles=cycles,
+            adc_conversions=conversions,
+            row_activations=row_activations,
+            macs=self.rows_used * self.cols_used * n_vectors,
+            wl_energy_fj=row_activations * self.config.wl_energy_fj,
+            bitline_energy_fj=float(counts.sum()) * cell_e,
+            adc_energy_fj=conversions * self.config.adc.energy_fj,
+            peripheral_energy_fj=cycles * self.config.peripheral_energy_fj_per_cycle,
+            latency_ns=cycles * self.config.cycle_time_ns,
+        )
+
+    def exact_matmul(self, x: np.ndarray) -> np.ndarray:
+        """Ideal integer reference (no ADC/bit-line effects)."""
+        return self.weights.T @ np.asarray(x, dtype=np.int64)

@@ -1,0 +1,201 @@
+"""Layer-level execution on tiled CiM subarrays.
+
+A network layer's weight matrix (rows = flattened input patch, cols =
+output channels) rarely fits one 128 x 32-word subarray.
+:class:`CimTiledMatmul` splits it into subarray tiles, runs each tile
+through the functional :class:`~repro.cim.macro.CimMacro`, accumulates
+partial sums digitally across row tiles (the "Shift & Add" block of
+Fig. 5 extended across subarrays), and aggregates energy/latency stats.
+
+Row tiles of the same output column can live in different subarrays and
+activate simultaneously, so latency counts one tile's serial passes
+while energy counts all tiles — matching the paper's high-parallelism
+mapping ("storing the weights of different layers to the same sub-array
+... to achieve high ADC utilization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cim.encoding import ActivationEncoding
+from repro.cim.macro import CimMacro, MacroConfig, MacroStats
+from repro.nn import functional as F
+from repro.quant.quantizer import QuantSpec, quantize
+
+
+@dataclass
+class _Tile:
+    macro: CimMacro
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+
+class CimTiledMatmul:
+    """An integer weight matrix mapped onto CiM subarray tiles.
+
+    Parameters
+    ----------
+    weights:
+        Integer matrix (R, C) — rows are inputs, columns outputs.
+    config:
+        Subarray configuration shared by all tiles.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        config: Optional[MacroConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.config = config if config is not None else MacroConfig()
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got {weights.shape}")
+        self.shape = weights.shape
+        rng = rng if rng is not None else np.random.default_rng()
+
+        rows, cols = weights.shape
+        tile_r = self.config.rows
+        tile_c = self.config.logical_columns
+        self.tiles: List[_Tile] = []
+        for r0 in range(0, rows, tile_r):
+            r1 = min(r0 + tile_r, rows)
+            for c0 in range(0, cols, tile_c):
+                c1 = min(c0 + tile_c, cols)
+                macro = CimMacro(self.config, weights[r0:r1, c0:c1], rng=rng)
+                self.tiles.append(_Tile(macro, r0, r1, c0, c1))
+
+    @property
+    def n_subarrays(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def n_row_tiles(self) -> int:
+        return -(-self.shape[0] // self.config.rows)
+
+    def matmul(
+        self, x: np.ndarray, encoding: Optional["ActivationEncoding"] = None
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Compute ``weights.T @ x`` (x: (R,) or (R, N)) through all tiles.
+
+        ``encoding`` selects the word-line activation scheme (section
+        3.1); the default is the bit-serial stream of Table I.  The
+        pulse encodings require unsigned activations.
+        """
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if x.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"input rows {x.shape[0]} do not match weight rows {self.shape[0]}"
+            )
+        out = np.zeros((self.shape[1], x.shape[1]))
+        total = MacroStats()
+        max_tile_latency = 0.0
+        for tile in self.tiles:
+            x_slice = x[tile.row_start : tile.row_stop]
+            if encoding is None:
+                partial, stats = tile.macro.matmul(x_slice)
+            else:
+                partial, stats = encoding.matmul(tile.macro, x_slice)
+            out[tile.col_start : tile.col_stop] += partial
+            max_tile_latency = max(max_tile_latency, stats.latency_ns)
+            total = total + stats
+        # Tiles run in parallel subarrays: wall-clock is the slowest tile.
+        total.latency_ns = max_tile_latency
+        return (out[:, 0] if squeeze else out), total
+
+    def exact_matmul(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.int64)
+        out = None
+        for tile in self.tiles:
+            partial = tile.macro.exact_matmul(x[tile.row_start : tile.row_stop])
+            if out is None:
+                shape = (self.shape[1],) + partial.shape[1:]
+                out = np.zeros(shape, dtype=np.int64)
+            out[tile.col_start : tile.col_stop] += partial
+        return out
+
+
+def cim_linear(
+    x: np.ndarray,
+    weight: np.ndarray,
+    config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    encoding: Optional[ActivationEncoding] = None,
+) -> Tuple[np.ndarray, MacroStats]:
+    """Run ``x @ weight.T`` (float) through quantized CiM execution.
+
+    ``x`` is (N, in_features) float, ``weight`` (out, in) float.  Both are
+    symmetrically quantized (activations unsigned if non-negative), the
+    product is computed by the tiled macro model, and the result is
+    rescaled to float.  Returns ``(y, stats)``.  ``encoding`` selects
+    the word-line scheme (post-ReLU layers are unsigned, so the pulse
+    encodings apply directly).
+    """
+    config = config if config is not None else MacroConfig()
+    x = np.asarray(x, dtype=np.float64)
+    signed_inputs = bool((x < 0).any())
+    act_spec = QuantSpec(bits=activation_bits, signed=signed_inputs)
+    x_codes, x_scale = quantize(x, act_spec)
+
+    w_spec = QuantSpec(bits=config.weight_bits, signed=True, per_channel_axis=0)
+    w_codes, w_scale = quantize(np.asarray(weight), w_spec)
+
+    run_config = MacroConfig(
+        rows=config.rows,
+        phys_columns=config.phys_columns,
+        n_adcs=config.n_adcs,
+        adc=config.adc,
+        cell=config.cell,
+        weight_bits=config.weight_bits,
+        input_bits=activation_bits,
+        signed_weights=True,
+        signed_inputs=signed_inputs,
+        cycle_time_ns=config.cycle_time_ns,
+        wl_energy_fj=config.wl_energy_fj,
+        peripheral_energy_fj_per_cycle=config.peripheral_energy_fj_per_cycle,
+        bitline=config.bitline,
+    )
+    engine = CimTiledMatmul(w_codes.T, run_config, rng=rng)
+    y_codes, stats = engine.matmul(x_codes.T, encoding=encoding)  # (out, N)
+    scale = float(x_scale) * w_scale.reshape(-1, 1)
+    return (y_codes * scale).T, stats
+
+
+def cim_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    encoding: Optional[ActivationEncoding] = None,
+) -> Tuple[np.ndarray, MacroStats]:
+    """Convolution through CiM: im2col + :func:`cim_linear` semantics.
+
+    ``x``: (N, C, H, W) float; ``weight``: (O, C, kh, kw) float.
+    Returns the float output (N, O, H', W') and aggregated macro stats.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    n = x.shape[0]
+    oc, ic, kh, kw = weight.shape
+    cols, (out_h, out_w) = F.im2col(
+        x, (kh, kw), (stride, stride), (padding, padding)
+    )  # (N, C*kh*kw, P)
+    patches = cols.transpose(0, 2, 1).reshape(-1, ic * kh * kw)  # (N*P, K)
+    flat, stats = cim_linear(
+        patches, weight.reshape(oc, -1), config, activation_bits, rng, encoding
+    )
+    out = flat.reshape(n, out_h * out_w, oc).transpose(0, 2, 1)
+    return out.reshape(n, oc, out_h, out_w), stats

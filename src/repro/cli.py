@@ -1,0 +1,408 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``        model-zoo profiles (params/MACs per model).
+``table1``      Table I macro specification report.
+``fig14``       the chip-level system comparison.
+``fig6b|fig10|fig11|fig12``  the training experiments (``--full`` for
+                the EXPERIMENTS.md budget, default is the fast budget).
+``options``     Options I-IV head-to-head study (Fig. 6).
+``packing``     the subarray packing ablation (section 4.3.2).
+``encoding``    activation-encoding trade-off (section 3.1).
+``designspace`` ADC-count vs activated-rows grid (section 4.3.1).
+``chiplets``    ROM-CiM vs SRAM-CiM chiplet assemblies (section 4.3.3).
+``pingpong``    double-buffered weight-reload schedules (section 4.3.3).
+``training``    on-chip training cost, full vs ReBranch (section 3.3).
+``variation``   static device-variation Monte-Carlo (section 2).
+``dusearch``    automated minimum-area D/U selection (section 3.2).
+``subbit``      sub-8-bit quantization on VGG vs MobileNet (section 2.3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import models, viz
+from repro.experiments import fig6b, fig10, fig11, fig12, fig14, table1
+from repro.experiments import ablations, options_study
+from repro.experiments.common import format_table
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    shapes = {
+        "vgg8": (1, 3, 32, 32),
+        "resnet18": (1, 3, 32, 32),
+        "resnet8": (1, 3, 32, 32),
+        "mobilenet": (1, 3, 32, 32),
+        "tiny_yolo": (1, 3, 416, 416),
+        "yolo": (1, 3, 416, 416),
+    }
+    rows = []
+    for name in models.available_models():
+        model = models.build_model(name, rng=np.random.default_rng(0))
+        profile = models.profile_model(model, shapes[name])
+        rows.append(
+            (
+                name,
+                f"{profile.total_params / 1e6:.2f}M",
+                f"{profile.total_macs / 1e9:.2f}G",
+                str(profile.output_shape),
+            )
+        )
+    print(format_table(rows, ["model", "params", "MACs", "output"]))
+    if args.verbose:
+        model = models.build_model(args.model, rng=np.random.default_rng(0))
+        print()
+        print(models.profile_model(model, shapes[args.model]).summary())
+    return 0
+
+
+def _cmd_table1(_: argparse.Namespace) -> int:
+    print(table1.format_report(table1.run()))
+    return 0
+
+
+def _cmd_fig14(_: argparse.Namespace) -> int:
+    result = fig14.run(fig14.full_config())
+    print(fig14.format_report(result))
+    print()
+    print(
+        viz.bar_chart(
+            sorted(result.improvements().items()),
+            title="energy-efficiency improvement vs iso-capacity SRAM-CiM chip",
+            unit="x",
+        )
+    )
+    print()
+    print("YOLoC (yolo) area breakdown:")
+    print(viz.stacked_fraction_bar(result.yoloc_area_breakdown("yolo")))
+    print("single-chip SRAM-CiM (yolo) energy breakdown:")
+    print(viz.stacked_fraction_bar(result.energy_breakdown("yolo")))
+    return 0
+
+
+def _training_command(runner, args: argparse.Namespace):
+    config = runner.full_config() if args.full else runner.fast_config()
+    return runner.run(config)
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    result = _training_command(fig10, args)
+    rows = [
+        (r.model, r.target, r.method, r.accuracy, r.normalized_area)
+        for r in result.rows
+    ]
+    print(format_table(rows, ["model", "target", "method", "accuracy", "norm_area"]))
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    result = _training_command(fig11, args)
+    rows = [
+        ("ratio", f"D{p.d}xU{p.u}", p.accuracy, p.normalized_area)
+        for p in result.ratio_points
+    ] + [
+        ("split", f"D{p.d}-U{p.u}", p.accuracy, p.normalized_area)
+        for p in result.split_points
+    ]
+    print(format_table(rows, ["sweep", "point", "accuracy", "norm_area"]))
+    return 0
+
+
+def _cmd_fig12(args: argparse.Namespace) -> int:
+    result = _training_command(fig12, args)
+    rows = [(r.method, r.target, r.map50) for r in result.rows]
+    print(format_table(rows, ["method", "target", "mAP@0.5"]))
+    print()
+    print(
+        viz.bar_chart(
+            [(a.method, round(a.total_cm2, 2)) for a in result.areas],
+            title="chip area to hold all weights (cm^2)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig6b(args: argparse.Namespace) -> int:
+    result = _training_command(fig6b, args)
+    print(
+        viz.line_plot(
+            [p.n_frozen_convs for p in result.points],
+            [p.accuracy for p in result.points],
+            title="ATL: accuracy vs frozen conv layers",
+            y_label="accuracy",
+        )
+    )
+    return 0
+
+
+def _cmd_options(args: argparse.Namespace) -> int:
+    config = options_study.full_config() if args.full else options_study.fast_config()
+    result = options_study.run(config)
+    rows = [
+        (r.option, r.accuracy, r.normalized_area, r.sram_bits, r.rom_bits)
+        for r in result.rows
+    ]
+    print(format_table(rows, ["option", "accuracy", "norm_area", "sram_bits", "rom_bits"]))
+    return 0
+
+
+def _cmd_packing(_: argparse.Namespace) -> int:
+    report = ablations.packing_ablation()
+    rows = [(key, value) for key, value in report.items()]
+    print(format_table(rows, ["metric", "value"]))
+    return 0
+
+
+def _cmd_encoding(args: argparse.Namespace) -> int:
+    from repro.experiments import encoding_study
+
+    config = (
+        encoding_study.full_config() if args.full else encoding_study.fast_config()
+    )
+    result = encoding_study.run(config)
+    print(
+        format_table(
+            result.rows(),
+            [
+                "encoding",
+                "bits",
+                "wl_cycles",
+                "conv/col",
+                "rel_error",
+                "fJ_per_mac",
+                "ns_per_vec",
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_designspace(_: argparse.Namespace) -> int:
+    from repro.cim import explore
+
+    result = explore()
+    rows = [
+        (p.n_adcs, p.activated_rows, p.rel_error, p.latency_ns, p.adc_area_mm2 * 1e3)
+        for p in result.points
+    ]
+    print(
+        format_table(
+            rows, ["n_adcs", "act_rows", "rel_error", "ns_per_vec", "adc_mm2_x1e3"]
+        )
+    )
+    frontier = result.frontier()
+    print(f"\npareto frontier: {len(frontier)} / {len(result.points)} corners")
+    return 0
+
+
+def _cmd_chiplets(args: argparse.Namespace) -> int:
+    from repro.arch import chiplet_scaling
+
+    model = models.build_model(args.model, rng=np.random.default_rng(0))
+    shape = (1, 3, 416, 416) if "yolo" in args.model else (1, 3, 32, 32)
+    profile = models.profile_model(model, shape)
+    result = chiplet_scaling(profile, model_name=args.model)
+    rows = [
+        (
+            p.die_area_mm2,
+            p.rom_chips,
+            p.sram_chips,
+            p.rom_area_cm2,
+            p.sram_area_cm2,
+            p.rom_energy_uj,
+            p.sram_energy_uj,
+        )
+        for p in result.points
+    ]
+    print(
+        format_table(
+            rows,
+            [
+                "die_mm2",
+                "rom_chips",
+                "sram_chips",
+                "rom_cm2",
+                "sram_cm2",
+                "rom_uJ",
+                "sram_uJ",
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_pingpong(args: argparse.Namespace) -> int:
+    from repro.experiments import pipeline_study
+
+    config = (
+        pipeline_study.full_config() if args.full else pipeline_study.fast_config()
+    )
+    result = pipeline_study.run(config)
+    rows = [
+        (
+            r["model"],
+            r["resident_fraction"],
+            r["serial_ns"] / 1e6,
+            r["pingpong_ns"] / 1e6,
+            r["latency_relief"],
+        )
+        for r in result.rows
+    ]
+    print(
+        format_table(
+            rows, ["model", "resident", "serial_ms", "pingpong_ms", "relief"]
+        )
+    )
+    return 0
+
+
+def _cmd_training(_: argparse.Namespace) -> int:
+    from repro.arch import TrainingCostModel
+
+    cost_model = TrainingCostModel()
+    shapes = {
+        "vgg8": (1, 3, 32, 32),
+        "resnet18": (1, 3, 32, 32),
+        "tiny_yolo": (1, 3, 416, 416),
+        "yolo": (1, 3, 416, 416),
+    }
+    rows = []
+    for name, shape in shapes.items():
+        profile = models.profile_model(
+            models.build_model(name, rng=np.random.default_rng(0)), shape
+        )
+        summary = cost_model.summary(profile)
+        rows.append(
+            (
+                name,
+                summary["full_step_uj"],
+                summary["rebranch_step_uj"],
+                summary["energy_saving"],
+                summary["trainable_reduction"],
+            )
+        )
+    print(
+        format_table(
+            rows, ["model", "full_uJ", "rebranch_uJ", "saving", "trainableX"]
+        )
+    )
+    return 0
+
+
+def _cmd_variation(_: argparse.Namespace) -> int:
+    from repro.cim import tolerable_cell_sigma, variation_sweep
+
+    results = variation_sweep()
+    rows = [
+        (v.cell_sigma, v.adc_offset_sigma, r.mean, r.p95) for v, r in results
+    ]
+    print(format_table(rows, ["cell_sigma", "adc_offset", "mean_err", "p95_err"]))
+    sigma = tolerable_cell_sigma(error_budget=0.05)
+    print(f"\ntolerable cell mismatch at 5% error budget: sigma = {sigma:.2f}")
+    return 0
+
+
+def _cmd_dusearch(args: argparse.Namespace) -> int:
+    from repro.experiments import du_search
+
+    config = du_search.full_config() if args.full else du_search.fast_config()
+    result = du_search.run(config)
+    rows = [
+        (
+            f"D{e.candidate.d}-U{e.candidate.u}",
+            e.accuracy,
+            e.sram_area_mm2,
+            e.trainable_params,
+        )
+        for e in result.evaluations
+    ]
+    print(format_table(rows, ["candidate", "accuracy", "sram_mm2", "trainable"]))
+    selected = result.selected
+    print(
+        f"\nselected: D={selected.candidate.d} U={selected.candidate.u} "
+        f"(accuracy floor {result.accuracy_floor:.3f})"
+    )
+    return 0
+
+
+def _cmd_subbit(args: argparse.Namespace) -> int:
+    from repro.experiments import related_work_quant
+
+    config = (
+        related_work_quant.full_config()
+        if args.full
+        else related_work_quant.fast_config()
+    )
+    result = related_work_quant.run(config)
+    print(f"baselines: {result.baselines}")
+    print(
+        format_table(
+            result.rows(), ["model", "scheme", "accuracy", "drop", "weight_err"]
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="YOLoC (DAC'22) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="model zoo profiles")
+    info.add_argument("--verbose", action="store_true")
+    info.add_argument("--model", default="vgg8", choices=models.available_models())
+    info.set_defaults(func=_cmd_info)
+
+    sub.add_parser("table1", help="Table I report").set_defaults(func=_cmd_table1)
+    sub.add_parser("fig14", help="system comparison").set_defaults(func=_cmd_fig14)
+    sub.add_parser("packing", help="subarray packing ablation").set_defaults(
+        func=_cmd_packing
+    )
+    sub.add_parser("designspace", help="ADC/rows design space").set_defaults(
+        func=_cmd_designspace
+    )
+    sub.add_parser("training", help="on-chip training costs").set_defaults(
+        func=_cmd_training
+    )
+    sub.add_parser("variation", help="device-variation Monte-Carlo").set_defaults(
+        func=_cmd_variation
+    )
+
+    chiplets = sub.add_parser("chiplets", help="ROM vs SRAM chiplet assemblies")
+    chiplets.add_argument(
+        "--model", default="yolo", choices=models.available_models()
+    )
+    chiplets.set_defaults(func=_cmd_chiplets)
+
+    for name, handler in [
+        ("fig6b", _cmd_fig6b),
+        ("fig10", _cmd_fig10),
+        ("fig11", _cmd_fig11),
+        ("fig12", _cmd_fig12),
+        ("options", _cmd_options),
+        ("encoding", _cmd_encoding),
+        ("pingpong", _cmd_pingpong),
+        ("dusearch", _cmd_dusearch),
+        ("subbit", _cmd_subbit),
+    ]:
+        cmd = sub.add_parser(name, help=f"run the {name} experiment")
+        cmd.add_argument("--full", action="store_true", help="full budget")
+        cmd.set_defaults(func=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Synthetic datasets with a controllable domain-shift knob.
+
+The paper's experiments transfer models pretrained on CIFAR-100 (or
+COCO) to CIFAR-10 / MNIST / Fashion-MNIST / Caltech101 (or Pedestrian /
+Traffic / PASCAL VOC).  No image corpora are downloadable in this
+offline environment, so this package generates procedural substitutes
+engineered to preserve the property the experiments probe: all tasks in
+a family share a bank of *low-level motifs* (so pretrained early
+features partially transfer) while classes, compositions, and global
+appearance statistics shift per task (so frozen features alone are not
+enough — the regime where ReBranch earns its keep).
+
+See DESIGN.md, substitution table, for the fidelity argument.
+"""
+
+from repro.datasets.synthetic import SyntheticTaskConfig, SyntheticTask, MotifBank
+from repro.datasets.transfer_suite import (
+    TransferSuite,
+    classification_suite,
+    SuiteSplits,
+)
+from repro.datasets.detection import (
+    DetectionTaskConfig,
+    SyntheticDetectionTask,
+    detection_suite,
+)
+
+__all__ = [
+    "SyntheticTaskConfig",
+    "SyntheticTask",
+    "MotifBank",
+    "TransferSuite",
+    "classification_suite",
+    "SuiteSplits",
+    "DetectionTaskConfig",
+    "SyntheticDetectionTask",
+    "detection_suite",
+]

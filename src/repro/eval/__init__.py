@@ -1,0 +1,21 @@
+"""Evaluation metrics: classification accuracy and detection mAP."""
+
+from repro.eval.classification import accuracy, top_k_accuracy, confusion_matrix
+from repro.eval.detection import (
+    iou,
+    iou_matrix,
+    nms,
+    average_precision,
+    mean_average_precision,
+)
+
+__all__ = [
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "iou",
+    "iou_matrix",
+    "nms",
+    "average_precision",
+    "mean_average_precision",
+]

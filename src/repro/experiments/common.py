@@ -1,0 +1,122 @@
+"""Shared infrastructure for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import nn, models
+from repro.datasets import TransferSuite, SuiteSplits
+from repro.rebranch import TrainConfig, TransferTrainer
+
+
+@dataclass
+class PretrainedBundle:
+    """A source-task-pretrained model plus everything needed to clone it."""
+
+    model_name: str
+    width_mult: float
+    state: Dict[str, np.ndarray]
+    source_classes: int
+    source_accuracy: float
+    hidden: int = 64
+
+    def fresh(self, rng_seed: int = 0) -> nn.Module:
+        """A new model instance loaded with the pretrained weights."""
+        model = models.build_model(
+            self.model_name,
+            num_classes=self.source_classes,
+            width_mult=self.width_mult,
+            rng=np.random.default_rng(rng_seed),
+        )
+        model.load_state_dict(self.state)
+        return model
+
+
+def pretrain_classifier(
+    model_name: str,
+    suite: TransferSuite,
+    width_mult: float = 0.125,
+    train_config: Optional[TrainConfig] = None,
+    n_train: int = 600,
+    n_test: int = 300,
+    seed: int = 0,
+) -> PretrainedBundle:
+    """Pretrain a scaled classifier on the suite's source task."""
+    src = suite.source_splits(n_train=n_train, n_test=n_test)
+    model = models.build_model(
+        model_name,
+        num_classes=src.num_classes,
+        width_mult=width_mult,
+        rng=np.random.default_rng(seed),
+    )
+    config = train_config if train_config is not None else TrainConfig(
+        epochs=12, lr=2e-3, batch_size=64, seed=seed
+    )
+    result = TransferTrainer(model, config).fit(
+        src.x_train, src.y_train, src.x_test, src.y_test
+    )
+    return PretrainedBundle(
+        model_name=model_name,
+        width_mult=width_mult,
+        state=model.state_dict(),
+        source_classes=src.num_classes,
+        source_accuracy=result.test_accuracy,
+    )
+
+
+def clone_with_new_head(
+    bundle: PretrainedBundle, num_classes: int, seed: int = 1
+) -> nn.Module:
+    """Pretrained feature extractor + a freshly initialized classifier.
+
+    The standard transfer-learning surgery: target tasks have different
+    class counts, so the classifier is replaced before any freezing
+    policy is applied.
+    """
+    model = bundle.fresh(rng_seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    if hasattr(model, "classifier"):  # VGG
+        in_features = model.classifier[0].in_features
+        model.classifier = nn.Sequential(
+            nn.Linear(in_features, bundle.hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(bundle.hidden, num_classes, rng=rng),
+        )
+    elif hasattr(model, "fc"):  # ResNet
+        model.fc = nn.Linear(model.fc.in_features, num_classes, rng=rng)
+    else:
+        raise TypeError(f"don't know how to re-head a {type(model).__name__}")
+    return model
+
+
+def transfer_and_evaluate(
+    model: nn.Module,
+    splits: SuiteSplits,
+    train_config: TrainConfig,
+) -> float:
+    """Fine-tune the (already policy-prepared) model; return test accuracy."""
+    result = TransferTrainer(model, train_config).fit(
+        splits.x_train, splits.y_train, splits.x_test, splits.y_test
+    )
+    return result.test_accuracy
+
+
+def format_table(rows, headers) -> str:
+    """Plain-text table used by the example scripts and EXPERIMENTS.md."""
+    widths = [len(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [
+            f"{value:.3f}" if isinstance(value, float) else str(value)
+            for value in row
+        ]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        text_rows.append(cells)
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(cells) for cells in text_rows)
+    return "\n".join(lines)

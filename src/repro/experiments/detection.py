@@ -1,0 +1,113 @@
+"""Detection training/evaluation helpers shared by the Fig. 12 runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.datasets.detection import SyntheticDetectionTask
+from repro.eval.detection import mean_average_precision
+from repro.models.darknet import DarknetBackbone
+from repro.models.yolo import YoloDetector, decode_predictions, encode_targets, yolo_loss
+from repro.nn.tensor import Tensor
+
+#: Scaled-down backbone configs for numpy-trainable detectors.  Both
+#: downsample by 8 so a 48x48 image yields a 6x6 prediction grid; the
+#: "yolo" one mirrors DarkNet-19's 3x3/1x1 alternation, the "tiny" one
+#: mirrors the Tiny-YOLO straight pipe with half the width.
+SCALED_YOLO_CFG = (16, "M", 32, ("pw", 16), 32, "M", 64, ("pw", 32), 64, "M", 128)
+SCALED_TINY_CFG = (8, "M", 16, "M", 32, "M", 48)
+
+
+def build_scaled_detector(
+    kind: str,
+    num_classes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> YoloDetector:
+    """A numpy-trainable detector with the requested backbone family."""
+    rng = rng if rng is not None else np.random.default_rng()
+    if kind == "yolo":
+        backbone = DarknetBackbone(SCALED_YOLO_CFG, rng=rng)
+        head_channels = 128
+    elif kind == "tiny":
+        backbone = DarknetBackbone(SCALED_TINY_CFG, rng=rng)
+        head_channels = 64
+    else:
+        raise ValueError(f"unknown scaled detector kind {kind!r}")
+    return YoloDetector(
+        backbone, num_classes, head_channels=head_channels, width_mult=1.0, rng=rng
+    )
+
+
+@dataclass
+class DetectionTrainConfig:
+    epochs: int = 12
+    batch_size: int = 16
+    lr: float = 2e-3
+    seed: int = 0
+
+
+def train_detector(
+    model: YoloDetector,
+    images: np.ndarray,
+    boxes: Sequence[np.ndarray],
+    labels: Sequence[np.ndarray],
+    config: Optional[DetectionTrainConfig] = None,
+) -> List[float]:
+    """Train the unfrozen parameters of ``model``; returns epoch losses."""
+    config = config if config is not None else DetectionTrainConfig()
+    trainable = [p for p in model.parameters() if p.requires_grad]
+    if not trainable:
+        raise ValueError("detector has no trainable parameters")
+    optimizer = nn.Adam(trainable, lr=config.lr)
+    rng = np.random.default_rng(config.seed)
+
+    with nn.no_grad():
+        grid = model(Tensor(images[:1])).shape[-1]
+    targets = encode_targets(boxes, labels, grid, model.num_classes)
+
+    losses: List[float] = []
+    n = len(images)
+    model.train()
+    for _ in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss, batches = 0.0, 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            predictions = model(Tensor(images[idx]))
+            loss = yolo_loss(predictions, targets[idx])
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    return losses
+
+
+def evaluate_map(
+    model: YoloDetector,
+    images: np.ndarray,
+    boxes: Sequence[np.ndarray],
+    labels: Sequence[np.ndarray],
+    score_threshold: float = 0.3,
+) -> float:
+    """mAP@0.5 of the detector on the given labelled images."""
+    model.eval()
+    with nn.no_grad():
+        raw = model(Tensor(images)).data
+    detections = decode_predictions(raw, score_threshold=score_threshold)
+    model.train()
+    return mean_average_precision(detections, boxes, labels, model.num_classes)
+
+
+def sample_task(
+    task: SyntheticDetectionTask, n_train: int, n_test: int, seed: int = 0
+) -> Tuple:
+    """Train/test draws from one detection task."""
+    train = task.sample(n_train, np.random.default_rng(seed + 1))
+    test = task.sample(n_test, np.random.default_rng(seed + 2))
+    return train, test

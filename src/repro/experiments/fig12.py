@@ -1,0 +1,237 @@
+"""Fig. 12 — detection quality vs chip area.
+
+Two halves, matching the paper's figure:
+
+* **mAP bars** — train a source ("COCO-analog") detector, then migrate
+  it to target tasks with four methods: fully-trainable SRAM-CiM YOLO,
+  fully-trainable Tiny-YOLO, DeepConv (only last conv group + prediction
+  trainable), and YOLoC (ReBranch).  Paper: 81.2 / 70.7 / 78.3 / 81.4 on
+  PASCAL VOC — YOLoC matches the all-trainable baseline (-0.5%..+0.2%),
+  DeepConv trails, Tiny-YOLO trails badly.
+* **Chip area bars** — the area to hold *all* weights of the full-size
+  models per method, from the analytic area model.  Paper: YOLoC is
+  9.7x smaller than SRAM-CiM YOLO and 2.4x smaller than SRAM-CiM
+  Tiny-YOLO.
+
+The accuracy half runs scaled-down detectors on synthetic data; the
+area half uses the full-size YOLO / Tiny-YOLO profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import models
+from repro.arch.mapping import map_model
+from repro.arch.memory import SramBufferModel
+from repro.cim.spec import rom_macro_spec, sram_macro_spec
+from repro.datasets.detection import detection_suite
+from repro.experiments.detection import (
+    DetectionTrainConfig,
+    build_scaled_detector,
+    evaluate_map,
+    sample_task,
+    train_detector,
+)
+from repro.rebranch import apply_rebranch
+from repro.rebranch.options import apply_deep_conv
+
+DETECTION_METHODS = ("sram_cim", "tiny_yolo", "deep_conv", "yoloc")
+
+
+@dataclass
+class Fig12Config:
+    targets: tuple = ("pedestrian", "traffic", "voc")
+    methods: tuple = DETECTION_METHODS
+    image_size: int = 48
+    n_train: int = 160
+    n_test: int = 96
+    pretrain_epochs: int = 12
+    transfer_epochs: int = 8
+    d: int = 4
+    u: int = 4
+    seed: int = 0
+
+
+def fast_config() -> Fig12Config:
+    return Fig12Config(
+        targets=("voc",),
+        image_size=32,
+        n_train=80,
+        n_test=48,
+        pretrain_epochs=6,
+        transfer_epochs=4,
+    )
+
+
+def full_config() -> Fig12Config:
+    return Fig12Config()
+
+
+@dataclass
+class DetectionRow:
+    method: str
+    target: str
+    map50: float
+    trainable_params: int
+
+
+@dataclass
+class AreaRow:
+    """Full-size chip area of one method (Fig. 12 bar chart)."""
+
+    method: str
+    rom_cim_cm2: float
+    sram_cim_cm2: float
+    cache_cm2: float
+    peripheral_cm2: float
+
+    @property
+    def total_cm2(self) -> float:
+        return (
+            self.rom_cim_cm2 + self.sram_cim_cm2 + self.cache_cm2 + self.peripheral_cm2
+        )
+
+
+@dataclass
+class Fig12Result:
+    source_map: Dict[str, float] = field(default_factory=dict)
+    rows: List[DetectionRow] = field(default_factory=list)
+    areas: List[AreaRow] = field(default_factory=list)
+
+    def map_table(self) -> Dict[str, Dict[str, float]]:
+        table: Dict[str, Dict[str, float]] = {}
+        for row in self.rows:
+            table.setdefault(row.target, {})[row.method] = row.map50
+        return table
+
+    def area_by_method(self) -> Dict[str, float]:
+        return {row.method: row.total_cm2 for row in self.areas}
+
+
+def _full_size_areas(d: int, u: int) -> List[AreaRow]:
+    """The area half of Fig. 12 from the full-size profiles."""
+    rom = rom_macro_spec()
+    sram = sram_macro_spec()
+    cache = SramBufferModel()
+    rng = np.random.default_rng(0)
+    yolo_profile = models.profile_model(
+        models.yolo_v2(rng=rng), (1, 3, 416, 416)
+    )
+    tiny_profile = models.profile_model(
+        models.tiny_yolo(rng=rng), (1, 3, 416, 416)
+    )
+
+    def row(method: str, rom_bits: int, sram_bits: int) -> AreaRow:
+        rom_area = rom_bits / 1e6 / rom.density_mb_mm2
+        sram_area = sram_bits / 1e6 / sram.density_mb_mm2
+        cim = rom_area + sram_area
+        return AreaRow(
+            method=method,
+            rom_cim_cm2=rom_area / 100,
+            sram_cim_cm2=sram_area / 100,
+            cache_cm2=cache.area_mm2 / 100,
+            peripheral_cm2=0.10 * (cim + cache.area_mm2) / 100,
+        )
+
+    all_sram_yolo = map_model(yolo_profile, "all_sram")
+    all_sram_tiny = map_model(tiny_profile, "all_sram")
+    deep_conv = map_model(yolo_profile, "all_rom", trainable_tail_layers=2)
+    yoloc = map_model(yolo_profile, "yoloc", d=d, u=u)
+    return [
+        row("sram_cim", 0, all_sram_yolo.total_weight_bits),
+        row("tiny_yolo", 0, all_sram_tiny.total_weight_bits),
+        row("deep_conv", deep_conv.rom_weight_bits, deep_conv.sram_weight_bits),
+        row("yoloc", yoloc.rom_weight_bits, yoloc.sram_weight_bits),
+    ]
+
+
+def run(config: Optional[Fig12Config] = None) -> Fig12Result:
+    config = config if config is not None else fast_config()
+    suite = detection_suite(seed=config.seed, image_size=config.image_size)
+    result = Fig12Result()
+    result.areas = _full_size_areas(config.d, config.u)
+
+    source = suite["source"]
+    (src_imgs, src_boxes, src_labels), (src_t_imgs, src_t_boxes, src_t_labels) = (
+        sample_task(source, config.n_train, config.n_test, seed=config.seed)
+    )
+
+    # Pretrain the big and tiny source detectors once.
+    pretrain_cfg = DetectionTrainConfig(
+        epochs=config.pretrain_epochs, seed=config.seed
+    )
+    base = build_scaled_detector(
+        "yolo", source.config.num_classes, rng=np.random.default_rng(config.seed)
+    )
+    train_detector(base, src_imgs, src_boxes, src_labels, pretrain_cfg)
+    result.source_map["yolo"] = evaluate_map(
+        base, src_t_imgs, src_t_boxes, src_t_labels
+    )
+    base_state = base.state_dict()
+
+    tiny_base = build_scaled_detector(
+        "tiny", source.config.num_classes, rng=np.random.default_rng(config.seed + 1)
+    )
+    train_detector(tiny_base, src_imgs, src_boxes, src_labels, pretrain_cfg)
+    result.source_map["tiny"] = evaluate_map(
+        tiny_base, src_t_imgs, src_t_boxes, src_t_labels
+    )
+    tiny_state = tiny_base.state_dict()
+
+    transfer_cfg = DetectionTrainConfig(
+        epochs=config.transfer_epochs, seed=config.seed
+    )
+    for target_name in config.targets:
+        task = suite[target_name]
+        (imgs, boxes, labels), (t_imgs, t_boxes, t_labels) = sample_task(
+            task, config.n_train, config.n_test, seed=config.seed + 10
+        )
+        num_classes = task.config.num_classes
+        for method in config.methods:
+            kind = "tiny" if method == "tiny_yolo" else "yolo"
+            state = tiny_state if kind == "tiny" else base_state
+            model = build_scaled_detector(
+                kind, num_classes, rng=np.random.default_rng(config.seed + 2)
+            )
+            if num_classes == source.config.num_classes:
+                model.load_state_dict(state)
+            else:
+                # Re-headed transfer: load backbone + shared head convs.
+                partial = {
+                    key: value
+                    for key, value in state.items()
+                    if not key.startswith("head.") or "head.0." in key
+                }
+                own = model.state_dict()
+                own.update(partial)
+                model.load_state_dict(own)
+
+            if method == "deep_conv":
+                apply_deep_conv(model)
+            elif method == "yoloc":
+                # Branch the backbone; head stays trainable in SRAM-CiM.
+                apply_rebranch(
+                    model.backbone,
+                    d=config.d,
+                    u=config.u,
+                    skip_last=False,
+                    rng=np.random.default_rng(config.seed + 3),
+                )
+            # sram_cim / tiny_yolo: leave fully trainable.
+
+            train_detector(model, imgs, boxes, labels, transfer_cfg)
+            result.rows.append(
+                DetectionRow(
+                    method=method,
+                    target=target_name,
+                    map50=evaluate_map(model, t_imgs, t_boxes, t_labels),
+                    trainable_params=sum(
+                        p.size for p in model.parameters() if p.requires_grad
+                    ),
+                )
+            )
+    return result

@@ -1,0 +1,73 @@
+"""Shared building blocks for the model zoo."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+
+
+def conv_out_hw(
+    hw: Tuple[int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Output spatial size of a convolution/pooling window."""
+    h, w = hw
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    return ((h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1)
+
+
+def scaled(channels: int, width_mult: float) -> int:
+    """Scale a channel count, keeping at least 4 channels."""
+    return max(4, int(round(channels * width_mult)))
+
+
+class ConvBNAct(nn.Module):
+    """Conv2d + BatchNorm2d + activation, the standard CNN unit.
+
+    ``act`` selects the nonlinearity: ``"relu"`` (VGG/ResNet) or
+    ``"leaky"`` (DarkNet convention, slope 0.1), or ``"none"``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        act: str = "relu",
+        groups: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if padding is None:
+            padding = kernel_size // 2
+        self.conv = nn.Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=False,
+            groups=groups,
+            rng=rng,
+        )
+        self.bn = nn.BatchNorm2d(out_channels)
+        if act == "relu":
+            self.act: nn.Module = nn.ReLU()
+        elif act == "leaky":
+            self.act = nn.LeakyReLU(0.1)
+        elif act == "none":
+            self.act = nn.Identity()
+        else:
+            raise ValueError(f"unknown activation {act!r}")
+
+    def forward(self, x):
+        return self.act(self.bn(self.conv(x)))

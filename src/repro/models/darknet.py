@@ -1,0 +1,97 @@
+"""DarkNet backbones: DarkNet-19 (YOLO) and the Tiny-YOLO backbone.
+
+DarkNet-19 is the 46M-weight backbone the paper headlines: a single
+28nm ROM-CiM chip can hold all of it, while SRAM-CiM must stream weights
+from DRAM (Fig. 14's 14.8x energy-efficiency gap).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import nn
+from repro.models.common import ConvBNAct, scaled
+
+# Layer description: int -> 3x3 conv to that many channels,
+# ("pw", n) -> 1x1 (point-wise) conv, "M" -> 2x2 max-pool.
+LayerCfg = Union[int, Tuple[str, int], str]
+
+DARKNET19_CFG: Sequence[LayerCfg] = (
+    32, "M",
+    64, "M",
+    128, ("pw", 64), 128, "M",
+    256, ("pw", 128), 256, "M",
+    512, ("pw", 256), 512, ("pw", 256), 512, "M",
+    1024, ("pw", 512), 1024, ("pw", 512), 1024,
+)
+
+DARKNET_TINY_CFG: Sequence[LayerCfg] = (
+    16, "M",
+    32, "M",
+    64, "M",
+    128, "M",
+    256, "M",
+    512, "M",
+    1024,
+)
+
+
+class DarknetBackbone(nn.Module):
+    """Fully-convolutional DarkNet feature extractor."""
+
+    def __init__(
+        self,
+        cfg: Sequence[LayerCfg] = DARKNET19_CFG,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        layers: List[nn.Module] = []
+        previous = in_channels
+        out_channels = previous
+        downsample = 1
+        for item in cfg:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                downsample *= 2
+            elif isinstance(item, tuple):
+                kind, channels = item
+                if kind != "pw":
+                    raise ValueError(f"unknown layer kind {kind!r}")
+                width = scaled(channels, width_mult)
+                layers.append(ConvBNAct(previous, width, 1, padding=0, act="leaky", rng=rng))
+                previous = width
+            else:
+                width = scaled(int(item), width_mult)
+                layers.append(ConvBNAct(previous, width, 3, act="leaky", rng=rng))
+                previous = width
+            out_channels = previous
+        self.layers = nn.Sequential(*layers)
+        self.out_channels = out_channels
+        self.downsample = downsample
+        self.cfg = tuple(cfg)
+
+    def forward(self, x):
+        return self.layers(x)
+
+
+def darknet19(
+    in_channels: int = 3,
+    width_mult: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> DarknetBackbone:
+    """The 19-conv DarkNet backbone of YOLO(v2)."""
+    return DarknetBackbone(DARKNET19_CFG, in_channels, width_mult, rng)
+
+
+def darknet_tiny(
+    in_channels: int = 3,
+    width_mult: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> DarknetBackbone:
+    """The reduced backbone of Tiny-YOLO."""
+    return DarknetBackbone(DARKNET_TINY_CFG, in_channels, width_mult, rng)

@@ -1,0 +1,109 @@
+"""MobileNet-style depthwise-separable classifier.
+
+Section 2.3 argues that "ultra-scaled networks below 8-bit quantization
+... are still difficult to implement on modern networks like ResNet and
+MobileNet" [16].  This model supplies the MobileNet side of that claim:
+depthwise 3x3 + point-wise 1x1 separable blocks, whose thin per-filter
+weight distributions are exactly what makes ternary/binary quantization
+collapse (see ``repro.quant.extreme`` and the related-work bench).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.models.common import ConvBNAct, scaled
+
+
+class DepthwiseSeparable(nn.Module):
+    """One MobileNet block: depthwise 3x3 then point-wise 1x1."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.depthwise = ConvBNAct(
+            in_channels,
+            in_channels,
+            kernel_size=3,
+            stride=stride,
+            groups=in_channels,
+            rng=rng,
+        )
+        self.pointwise = ConvBNAct(
+            in_channels, out_channels, kernel_size=1, padding=0, rng=rng
+        )
+
+    def forward(self, x):
+        return self.pointwise(self.depthwise(x))
+
+
+#: (out_channels, stride) of the standard MobileNet-v1 body, shortened
+#: to CIFAR scale (three downsampling stages instead of five).
+MOBILENET_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+)
+
+
+class MobileNet(nn.Module):
+    """Depthwise-separable classifier in the MobileNet-v1 style."""
+
+    def __init__(
+        self,
+        blocks: Sequence[Tuple[int, int]] = MOBILENET_BLOCKS,
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        stem_channels: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        stem_w = scaled(stem_channels, width_mult)
+        layers: List[nn.Module] = [ConvBNAct(in_channels, stem_w, 3, rng=rng)]
+        previous = stem_w
+        for out_channels, stride in blocks:
+            out_w = scaled(out_channels, width_mult)
+            layers.append(DepthwiseSeparable(previous, out_w, stride, rng=rng))
+            previous = out_w
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        self.fc = nn.Linear(previous, num_classes, rng=rng)
+        self.num_classes = num_classes
+        self.out_channels = previous
+
+    def forward(self, x):
+        x = self.features(x)
+        return self.fc(self.flatten(self.pool(x)))
+
+    def feature_extractor(self) -> nn.Module:
+        return self.features
+
+
+def mobilenet(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    width_mult: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> MobileNet:
+    """CIFAR-scale MobileNet-v1 (the [16] of the related-work claim)."""
+    return MobileNet(
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_mult=width_mult,
+        rng=rng,
+    )

@@ -1,0 +1,91 @@
+"""VGG-8 classifier.
+
+The 8-layer VGG variant common in the CiM literature (and matching the
+layer names in the paper's Fig. 6(b): conv-1/2 128ch, conv-3/4 256ch,
+conv-5/6 512ch): six 3x3 convolutions in three max-pooled stages followed
+by two fully-connected layers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.models.common import ConvBNAct, scaled
+
+VGG8_CHANNELS = (128, 128, 256, 256, 512, 512)
+VGG8_HIDDEN = 1024
+
+
+class VGG(nn.Module):
+    """Configurable VGG-style classifier.
+
+    ``features`` is the convolutional feature extractor (pairs of
+    :class:`ConvBNAct` with max-pooling between stages), ``classifier``
+    the fully-connected head.  Global average pooling between them makes
+    the model input-size agnostic, which the scaled training experiments
+    rely on.
+    """
+
+    def __init__(
+        self,
+        channels=VGG8_CHANNELS,
+        hidden: int = VGG8_HIDDEN,
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if len(channels) % 2 != 0:
+            raise ValueError("VGG expects an even number of conv layers (2 per stage)")
+        widths = [scaled(c, width_mult) for c in channels]
+        hidden_w = scaled(hidden, width_mult)
+
+        layers: List[nn.Module] = []
+        previous = in_channels
+        for stage in range(len(widths) // 2):
+            c_a, c_b = widths[2 * stage], widths[2 * stage + 1]
+            layers.append(ConvBNAct(previous, c_a, 3, rng=rng))
+            layers.append(ConvBNAct(c_a, c_b, 3, rng=rng))
+            layers.append(nn.MaxPool2d(2))
+            previous = c_b
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Sequential(
+            nn.Linear(previous, hidden_w, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden_w, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+        self.conv_channels = widths
+
+    def forward(self, x):
+        x = self.features(x)
+        x = self.flatten(self.pool(x))
+        return self.classifier(x)
+
+    def feature_extractor(self) -> nn.Module:
+        """The part the paper deploys in ROM-CiM for Options I/II."""
+        return self.features
+
+
+def vgg8(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    width_mult: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> VGG:
+    """Build the VGG-8 used throughout the paper's evaluation."""
+    return VGG(
+        VGG8_CHANNELS,
+        VGG8_HIDDEN,
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_mult=width_mult,
+        rng=rng,
+    )

@@ -1,0 +1,128 @@
+"""Minimal-yet-complete neural-network substrate built on numpy.
+
+This package replaces PyTorch (unavailable offline) for the YOLoC
+reproduction.  It provides a reverse-mode autograd tensor, the standard
+CNN building blocks (convolution, batch norm, pooling, activations),
+optimizers, and data loading utilities.
+
+The public surface mirrors the small subset of ``torch``/``torch.nn``
+the paper's "custom workflow simulator by PyTorch" would have used::
+
+    from repro import nn
+
+    model = nn.Sequential(
+        nn.Conv2d(3, 16, 3, padding=1), nn.BatchNorm2d(16), nn.ReLU(),
+        nn.MaxPool2d(2), nn.Flatten(), nn.Linear(16 * 8 * 8, 10),
+    )
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    loss = nn.cross_entropy(model(x), y)
+    loss.backward()
+    opt.step()
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.nn.functional import (
+    relu,
+    leaky_relu,
+    sigmoid,
+    tanh,
+    softmax,
+    log_softmax,
+    cross_entropy,
+    mse_loss,
+    binary_cross_entropy_with_logits,
+    conv2d,
+    max_pool2d,
+    avg_pool2d,
+    global_avg_pool2d,
+    pad2d,
+    upsample_nearest2d,
+    dropout,
+)
+from repro.nn.layers import (
+    Module,
+    Parameter,
+    Sequential,
+    ModuleList,
+    Conv2d,
+    Linear,
+    BatchNorm2d,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    Identity,
+)
+from repro.nn.optim import Optimizer, SGD, Adam, RMSprop
+from repro.nn.ema import ExponentialMovingAverage
+from repro.nn.schedule import (
+    LRScheduler,
+    StepLR,
+    CosineLR,
+    WarmupLR,
+    clip_grad_norm,
+)
+from repro.nn.data import Dataset, TensorDataset, DataLoader
+from repro.nn.serialization import save_checkpoint, load_checkpoint
+from repro.nn import init
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "pad2d",
+    "upsample_nearest2d",
+    "dropout",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "ExponentialMovingAverage",
+    "LRScheduler",
+    "StepLR",
+    "CosineLR",
+    "WarmupLR",
+    "clip_grad_norm",
+    "Dataset",
+    "TensorDataset",
+    "DataLoader",
+    "save_checkpoint",
+    "load_checkpoint",
+    "init",
+]

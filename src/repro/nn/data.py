@@ -1,0 +1,81 @@
+"""Dataset / DataLoader abstractions for numpy arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract map-style dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset wrapping parallel numpy arrays (features first axis aligned)."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        length = len(arrays[0])
+        for array in arrays:
+            if len(array) != length:
+                raise ValueError("all arrays must share the first dimension")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int):
+        row = tuple(a[index] for a in self.arrays)
+        return row if len(row) > 1 else row[0]
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Batches are stacked numpy arrays; the training loops convert them to
+    :class:`~repro.nn.tensor.Tensor` as needed.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                return
+            samples = [self.dataset[int(i)] for i in batch_idx]
+            if isinstance(samples[0], tuple):
+                yield tuple(np.stack(column) for column in zip(*samples))
+            else:
+                yield np.stack(samples)

@@ -1,0 +1,91 @@
+"""Exponential moving average of model parameters.
+
+The small-data transfer runs of Figs. 10-12 are noisy; evaluating an
+EMA shadow of the trainable (SRAM-resident) weights is the standard
+stabilizer.  Frozen (ROM-resident) parameters never change, so the EMA
+tracks only ``requires_grad`` parameters — mirroring what on-chip
+hardware could actually maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+class ExponentialMovingAverage:
+    """Shadow copies ``s = decay * s + (1 - decay) * p`` of a model.
+
+    Usage::
+
+        ema = ExponentialMovingAverage(model, decay=0.99)
+        for batch in loader:
+            ...train step...
+            ema.update()
+        with ema.average_parameters():
+            evaluate(model)
+    """
+
+    def __init__(self, model: Module, decay: float = 0.99):
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.model = model
+        self.decay = decay
+        self.shadow: Dict[str, np.ndarray] = {
+            name: param.data.copy()
+            for name, param in model.named_parameters()
+            if param.requires_grad
+        }
+        self._backup: Optional[Dict[str, np.ndarray]] = None
+
+    def update(self) -> None:
+        """Fold the current parameter values into the shadow."""
+        for name, param in self.model.named_parameters():
+            if name in self.shadow:
+                self.shadow[name] = (
+                    self.decay * self.shadow[name]
+                    + (1.0 - self.decay) * param.data
+                )
+
+    def copy_to_model(self) -> None:
+        """Overwrite tracked parameters with their shadow values."""
+        for name, param in self.model.named_parameters():
+            if name in self.shadow:
+                param.data = self.shadow[name].copy()
+
+    def store(self) -> None:
+        """Back up the live parameter values (before ``copy_to_model``)."""
+        self._backup = {
+            name: param.data.copy()
+            for name, param in self.model.named_parameters()
+            if name in self.shadow
+        }
+
+    def restore(self) -> None:
+        """Put the backed-up live values back."""
+        if self._backup is None:
+            raise RuntimeError("restore() called without a prior store()")
+        for name, param in self.model.named_parameters():
+            if name in self._backup:
+                param.data = self._backup[name]
+        self._backup = None
+
+    def average_parameters(self) -> "_EmaContext":
+        """Context manager: evaluate with the shadow, then restore."""
+        return _EmaContext(self)
+
+
+class _EmaContext:
+    def __init__(self, ema: ExponentialMovingAverage):
+        self.ema = ema
+
+    def __enter__(self) -> ExponentialMovingAverage:
+        self.ema.store()
+        self.ema.copy_to_model()
+        return self.ema
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.ema.restore()

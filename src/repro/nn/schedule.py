@@ -1,0 +1,107 @@
+"""Learning-rate schedules and gradient clipping.
+
+The full-budget transfer runs use step decay (matching the usual
+fine-tuning recipe); cosine decay is provided for the longer pretrain
+runs; gradient clipping stabilizes the YOLO loss early in training.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.optim import Optimizer
+from repro.nn.tensor import Tensor
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on each :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        if lr <= 0:
+            raise ValueError(f"schedule produced non-positive lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 1e-6):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear warm-up to the base rate, then constant."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int):
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.warmup_epochs = warmup_epochs
+        # Start below the base rate immediately.
+        optimizer.lr = self.get_lr(0)
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (epoch + 1) / (self.warmup_epochs + 1)
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clip norm (useful for logging divergence).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    grads: List[np.ndarray] = [
+        p.grad for p in parameters if p.requires_grad and p.grad is not None
+    ]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g**2).sum()) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return total

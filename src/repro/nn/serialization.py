@@ -1,0 +1,79 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives.
+
+The deployment flow needs durable artifacts twice: the pretrained
+weights that get mask-programmed into ROM (fixed forever), and the
+fine-tuned branch weights loaded into SRAM-CiM at power-on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+PathLike = Union[str, pathlib.Path]
+
+_META_KEY = "__repro_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    model: Module,
+    path: PathLike,
+    metadata: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write the model's state dict (and optional metadata) to ``path``.
+
+    The archive is a plain ``numpy.savez_compressed`` file: one array
+    per parameter/buffer plus a JSON metadata record, so checkpoints
+    remain readable without this library.
+    """
+    state = model.state_dict()
+    meta = {"format_version": _FORMAT_VERSION, "n_entries": len(state)}
+    if metadata:
+        meta.update(metadata)
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(
+    model: Module, path: PathLike, strict: bool = True
+) -> Dict[str, str]:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    With ``strict`` (default) the archive must contain every parameter
+    and buffer of ``model``; otherwise missing entries keep the model's
+    current values.  Returns the stored metadata.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        # np.savez appends .npz when missing; accept both spellings.
+        alt = path.with_suffix(path.suffix + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8")
+        metadata = json.loads(meta_raw)
+        if metadata.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {metadata.get('format_version')!r}"
+            )
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    if strict:
+        model.load_state_dict(state)
+    else:
+        current = model.state_dict()
+        current.update({k: v for k, v in state.items() if k in current})
+        model.load_state_dict(current)
+    return metadata

@@ -1,0 +1,482 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+The :class:`Tensor` records, for every differentiable operation, a closure
+that propagates the output gradient to the operands.  Calling
+:meth:`Tensor.backward` performs a topological sort of the recorded graph
+and runs the closures in reverse order.
+
+Design choices
+--------------
+* float64 is the default dtype: the experiments here use tiny models where
+  numeric robustness matters more than speed, and numerical gradient
+  checking in the test-suite requires double precision.
+* Broadcasting is fully supported; gradients are summed back over
+  broadcast dimensions by :func:`unbroadcast`.
+* A global gradient-enabled flag (:func:`no_grad`) lets inference and
+  optimizer updates skip graph construction, exactly like
+  ``torch.no_grad()``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over the dimensions that were broadcast to reach it.
+
+    ``grad`` has the broadcasted shape; the result has ``shape``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        When True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: Tuple[Tensor, ...] = ()
+        self._op = ""
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_part})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        out = Tensor(data)
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if needs:
+            out.requires_grad = True
+            out._backward = backward
+            out._prev = tuple(parents)
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (only valid for scalar outputs, matching
+        the PyTorch convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+            )
+
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward, "add")
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(data, (self,), backward, "neg")
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward, "sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward, "mul")
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(
+                    unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape)
+                )
+
+        return Tensor._make(data, (self, other_t), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward, "pow")
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward, "abs")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient is passed only inside the active range."""
+        data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                g = np.expand_dims(g, axis=tuple(sorted(axes)))
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for a in axes:
+                count *= self.data.shape[a]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            full = data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                g = np.expand_dims(g, axis=tuple(sorted(axes)))
+                full = np.expand_dims(data, axis=tuple(sorted(axes)))
+            mask = self.data == full
+            # Split gradient between ties, matching numpy argmax-free semantics.
+            counts = mask.sum(
+                axis=axis if axis is not None else None, keepdims=True
+            )
+            self._accumulate(mask * g / counts)
+
+        return Tensor._make(data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.shape))
+
+        return Tensor._make(data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward, "transpose")
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward, "getitem")
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        arrays = [t.data for t in tensors]
+        data = np.concatenate(arrays, axis=axis)
+        sizes = [a.shape[axis] for a in arrays]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor_i, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor_i.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor_i._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(data, tuple(tensors), backward, "concat")
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other_t.data).reshape(self.shape))
+                else:
+                    g = grad @ np.swapaxes(other_t.data, -1, -2)
+                    self._accumulate(unbroadcast(g, self.shape))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    other_t._accumulate(
+                        np.outer(self.data, grad).reshape(other_t.shape)
+                    )
+                else:
+                    g = np.swapaxes(self.data, -1, -2) @ grad
+                    other_t._accumulate(unbroadcast(g, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward, "matmul")
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Comparisons (no gradient)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)

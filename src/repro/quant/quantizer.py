@@ -1,0 +1,84 @@
+"""Core uniform quantization primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def int_range(bits: int, signed: bool = True) -> Tuple[int, int]:
+    """Representable integer range of a ``bits``-wide code."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if signed:
+        return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    return 0, 2**bits - 1
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Describes a uniform quantizer.
+
+    ``per_channel_axis`` selects one tensor axis to carry independent
+    scales (axis 0 for conv weights = per-output-channel).
+    """
+
+    bits: int = 8
+    signed: bool = True
+    per_channel_axis: Optional[int] = None
+
+    def __post_init__(self):
+        if self.bits < 1 or self.bits > 32:
+            raise ValueError(f"bits must be in [1, 32], got {self.bits}")
+
+    @property
+    def qmin(self) -> int:
+        return int_range(self.bits, self.signed)[0]
+
+    @property
+    def qmax(self) -> int:
+        return int_range(self.bits, self.signed)[1]
+
+
+def _scales(values: np.ndarray, spec: QuantSpec) -> np.ndarray:
+    """Symmetric scale(s): max|x| mapped to the largest positive code."""
+    if spec.per_channel_axis is None:
+        amax = np.abs(values).max()
+        amax = amax if amax > 0 else 1.0
+        return np.asarray(amax / spec.qmax)
+    axis = spec.per_channel_axis % values.ndim
+    reduce_axes = tuple(i for i in range(values.ndim) if i != axis)
+    amax = np.abs(values).max(axis=reduce_axes, keepdims=True)
+    amax = np.where(amax > 0, amax, 1.0)
+    return amax / spec.qmax
+
+
+def quantize(values: np.ndarray, spec: QuantSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize to integer codes.  Returns ``(codes, scale)``.
+
+    Codes are int64; ``dequantize(codes, scale)`` recovers the values up
+    to quantization error.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    scale = _scales(values, spec)
+    codes = np.clip(np.rint(values / scale), spec.qmin, spec.qmax).astype(np.int64)
+    return codes, scale
+
+
+def dequantize(codes: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return codes.astype(np.float64) * scale
+
+
+def quantize_symmetric(values: np.ndarray, bits: int = 8) -> Tuple[np.ndarray, float]:
+    """Convenience per-tensor signed symmetric quantization."""
+    codes, scale = quantize(values, QuantSpec(bits=bits, signed=True))
+    return codes, float(scale)
+
+
+def quantization_mse(values: np.ndarray, spec: QuantSpec) -> float:
+    """Mean squared error introduced by quantizing ``values``."""
+    codes, scale = quantize(values, spec)
+    return float(((dequantize(codes, scale) - values) ** 2).mean())

@@ -1,0 +1,71 @@
+"""ReBranch: residual-branch weight fine-tuning for ROM-CiM (section 3.2).
+
+The core contribution of the paper.  A pretrained convolution becomes a
+**trunk** whose weights are frozen (mask-programmed into ROM-CiM) plus a
+parallel **branch**: a frozen point-wise channel *compression* (ratio D),
+a trainable *res-conv*, and a frozen point-wise *decompression*
+(ratio U).  Only 1/(D*U) of the trunk's parameter count stays trainable
+and SRAM-resident, yet the branch can learn the residual needed to
+transfer the frozen model to new tasks.
+
+Also implements the three alternative flexibility options the paper
+compares against (Fig. 6):
+
+* Option I — :mod:`~repro.rebranch.rosl`: one-shot learning with a
+  TCAM distance classifier over frozen ROM features.
+* Option II — ATL: freeze a prefix of layers, retrain the rest
+  (:func:`~repro.rebranch.options.apply_atl`).
+* Option III — SPWD: a trainable low-bit SRAM conv in parallel with the
+  frozen 8-bit ROM conv (:class:`~repro.rebranch.options.SpwdConv2d`).
+"""
+
+from repro.rebranch.branch import ReBranchConv2d
+from repro.rebranch.convert import convert_to_rebranch, rebranch_modules
+from repro.rebranch.options import (
+    apply_all_sram,
+    apply_all_rom,
+    apply_deep_conv,
+    apply_atl,
+    apply_rebranch,
+    SpwdConv2d,
+    convert_to_spwd,
+    METHOD_APPLIERS,
+)
+from repro.rebranch.rosl import TcamDistanceClassifier, RoslClassifier
+from repro.rebranch.transfer import TransferTrainer, TrainConfig, evaluate_accuracy
+from repro.rebranch.accounting import MemoryFootprint, method_footprint
+from repro.rebranch.search import (
+    DuCandidate,
+    DuEvaluation,
+    DuSearchResult,
+    default_candidates,
+    select_minimum_area,
+    search,
+)
+
+__all__ = [
+    "ReBranchConv2d",
+    "convert_to_rebranch",
+    "rebranch_modules",
+    "apply_all_sram",
+    "apply_all_rom",
+    "apply_deep_conv",
+    "apply_atl",
+    "apply_rebranch",
+    "SpwdConv2d",
+    "convert_to_spwd",
+    "METHOD_APPLIERS",
+    "TcamDistanceClassifier",
+    "RoslClassifier",
+    "TransferTrainer",
+    "TrainConfig",
+    "evaluate_accuracy",
+    "MemoryFootprint",
+    "method_footprint",
+    "DuCandidate",
+    "DuEvaluation",
+    "DuSearchResult",
+    "default_candidates",
+    "select_minimum_area",
+    "search",
+]

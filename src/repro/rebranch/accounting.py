@@ -1,0 +1,78 @@
+"""Memory-area accounting for the flexibility options (Figs. 10b, 11a, 12).
+
+For a prepared model (after one of the ``apply_*`` policies), every
+parameter with ``requires_grad=True`` must live in writable SRAM-CiM;
+frozen parameters can be mask-programmed into dense ROM-CiM.  The
+footprint converts those bit counts into silicon area through the macro
+densities of ``repro.cim.spec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import nn
+from repro.cim.spec import MacroSpec, rom_macro_spec, sram_macro_spec
+from repro.rebranch.options import SpwdConv2d
+
+
+@dataclass
+class MemoryFootprint:
+    """Weight storage of one deployment option."""
+
+    rom_bits: int
+    sram_bits: int
+    rom_spec: MacroSpec
+    sram_spec: MacroSpec
+
+    @property
+    def total_bits(self) -> int:
+        return self.rom_bits + self.sram_bits
+
+    @property
+    def rom_area_mm2(self) -> float:
+        return self.rom_bits / 1e6 / self.rom_spec.density_mb_mm2
+
+    @property
+    def sram_area_mm2(self) -> float:
+        return self.sram_bits / 1e6 / self.sram_spec.density_mb_mm2
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.rom_area_mm2 + self.sram_area_mm2
+
+    def normalized_to(self, baseline: "MemoryFootprint") -> float:
+        """Area relative to a baseline (Fig. 10b's 'All SRAM' = 1.0)."""
+        return self.total_area_mm2 / baseline.total_area_mm2
+
+
+def method_footprint(
+    model: nn.Module,
+    weight_bits: int = 8,
+    rom_spec: MacroSpec = None,
+    sram_spec: MacroSpec = None,
+) -> MemoryFootprint:
+    """Footprint of a prepared model: trainable -> SRAM, frozen -> ROM.
+
+    SPWD decorations store ``SpwdConv2d.bits`` per weight instead of the
+    full ``weight_bits`` (the 2-bit decoration of Fig. 6c).
+    """
+    rom_spec = rom_spec if rom_spec is not None else rom_macro_spec()
+    sram_spec = sram_spec if sram_spec is not None else sram_macro_spec()
+
+    low_bit_params = set()
+    low_bits = weight_bits
+    for module in model.modules():
+        if isinstance(module, SpwdConv2d):
+            low_bit_params.add(id(module.decoration.weight))
+            low_bits = module.bits
+
+    rom_bits = 0
+    sram_bits = 0
+    for param in model.parameters():
+        bits = low_bits if id(param) in low_bit_params else weight_bits
+        if param.requires_grad:
+            sram_bits += param.size * bits
+        else:
+            rom_bits += param.size * bits
+    return MemoryFootprint(rom_bits, sram_bits, rom_spec, sram_spec)

@@ -1,0 +1,127 @@
+"""The ReBranch convolution (Fig. 7).
+
+``out = trunk(x) + decompress(res_conv(compress(x)))``
+
+* ``trunk`` — the pretrained convolution, frozen (ROM-CiM).
+* ``compress`` — frozen point-wise conv N -> N/D (ROM-CiM).  Its weights
+  are fixed at mask time, *before* any target task is known, so they are
+  a task-agnostic random projection (scaled for variance preservation).
+* ``res_conv`` — trainable conv N/D -> M/U with the trunk's kernel,
+  stride and padding (SRAM-CiM).  Initialized to zero so the wrapped
+  layer starts exactly equal to the pretrained trunk.
+* ``decompress`` — frozen point-wise conv M/U -> M (ROM-CiM).
+
+As Fig. 8 shows, the branch is algebraically a full-size convolution of
+rank limited by the compression, so it can adjust the trunk "to a
+certain extent" with only 1/(D*U) of the parameters trainable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+
+
+def _fixed_projection(
+    out_channels: int, in_channels: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Variance-preserving random point-wise projection (frozen in ROM)."""
+    weight = rng.normal(0.0, 1.0 / np.sqrt(in_channels), size=(out_channels, in_channels))
+    return weight.reshape(out_channels, in_channels, 1, 1)
+
+
+class ReBranchConv2d(nn.Module):
+    """Drop-in replacement for a pretrained Conv2d with a residual branch."""
+
+    def __init__(
+        self,
+        trunk: nn.Conv2d,
+        d: int = 4,
+        u: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if d < 1 or u < 1:
+            raise ValueError(f"compression ratios must be >= 1, got D={d}, U={u}")
+        rng = rng if rng is not None else np.random.default_rng()
+
+        in_channels = trunk.in_channels
+        out_channels = trunk.out_channels
+        compressed = max(1, in_channels // d)
+        decompressed = max(1, out_channels // u)
+
+        self.d = d
+        self.u = u
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = trunk.kernel_size
+        self.stride = trunk.stride
+        self.padding = trunk.padding
+
+        # Trunk: the pretrained weights, frozen (ROM).
+        self.trunk = trunk
+        self.trunk.freeze()
+
+        # Branch: compress (frozen) -> res-conv (trainable) -> decompress
+        # (frozen).
+        self.compress = nn.Conv2d(in_channels, compressed, 1, bias=False, rng=rng)
+        self.compress.weight.data = _fixed_projection(compressed, in_channels, rng)
+        self.compress.freeze()
+
+        self.res_conv = nn.Conv2d(
+            compressed,
+            decompressed,
+            trunk.kernel_size,
+            stride=trunk.stride,
+            padding=trunk.padding,
+            bias=False,
+            rng=rng,
+        )
+        self.res_conv.weight.data = np.zeros_like(self.res_conv.weight.data)
+
+        self.decompress = nn.Conv2d(decompressed, out_channels, 1, bias=False, rng=rng)
+        self.decompress.weight.data = _fixed_projection(
+            out_channels, decompressed, rng
+        )
+        self.decompress.freeze()
+
+    def forward(self, x):
+        return self.trunk(x) + self.decompress(self.res_conv(self.compress(x)))
+
+    def branch_parameters(self):
+        """The SRAM-resident trainable parameters (the res-conv)."""
+        return list(self.res_conv.parameters())
+
+    @property
+    def trunk_param_count(self) -> int:
+        return self.trunk.weight.size + (
+            self.trunk.bias.size if self.trunk.bias is not None else 0
+        )
+
+    @property
+    def branch_trainable_param_count(self) -> int:
+        return self.res_conv.weight.size
+
+    @property
+    def compression_ratio(self) -> float:
+        """Trunk weights per trainable branch weight (~D*U, Fig. 11a)."""
+        return self.trunk.weight.size / self.res_conv.weight.size
+
+    def profile_forward(self, shape, profiler, prefix):
+        """Profile the parallel trunk/branch dataflow."""
+        from repro.models.profile import _profile_module
+
+        out = _profile_module(self.trunk, shape, profiler, f"{prefix}trunk.")
+        branch = _profile_module(self.compress, shape, profiler, f"{prefix}compress.")
+        branch = _profile_module(self.res_conv, branch, profiler, f"{prefix}res_conv.")
+        _profile_module(self.decompress, branch, profiler, f"{prefix}decompress.")
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, D={self.d}, U={self.u}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}"
+        )

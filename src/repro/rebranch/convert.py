@@ -1,0 +1,64 @@
+"""Model conversion: wrap pretrained convolutions with residual branches."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.rebranch.branch import ReBranchConv2d
+
+
+def _default_predicate(name: str, conv: nn.Conv2d) -> bool:
+    """Branch every spatial (k > 1) convolution.
+
+    Point-wise convolutions are already small; the paper applies ReBranch
+    to the deep convolution layer groups.
+    """
+    return conv.kernel_size != (1, 1)
+
+
+def convert_to_rebranch(
+    model: nn.Module,
+    d: int = 4,
+    u: int = 4,
+    predicate: Optional[Callable[[str, nn.Conv2d], bool]] = None,
+    skip_last: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Replace Conv2d layers of a *pretrained* model with ReBranchConv2d.
+
+    The trunk keeps the pretrained weights (frozen); each branch starts
+    at zero so the converted model is functionally identical until
+    fine-tuning.  ``skip_last`` leaves the final weight layer (the
+    prediction head / classifier input conv) untouched — it stays fully
+    trainable in SRAM-CiM per the YOLoC architecture.
+
+    Returns the number of layers converted.  Modifies ``model`` in place.
+    """
+    predicate = predicate if predicate is not None else _default_predicate
+    rng = rng if rng is not None else np.random.default_rng()
+
+    candidates = []
+    for parent_name, parent in model.named_modules():
+        for child_name, child in list(parent._modules.items()):
+            if isinstance(child, nn.Conv2d):
+                full = f"{parent_name}.{child_name}" if parent_name else child_name
+                candidates.append((parent, child_name, full, child))
+
+    if skip_last and candidates:
+        candidates = candidates[:-1]
+
+    converted = 0
+    for parent, child_name, full, conv in candidates:
+        if not predicate(full, conv):
+            continue
+        setattr(parent, child_name, ReBranchConv2d(conv, d=d, u=u, rng=rng))
+        converted += 1
+    return converted
+
+
+def rebranch_modules(model: nn.Module) -> List[ReBranchConv2d]:
+    """All ReBranch layers of a converted model, in execution order."""
+    return [m for m in model.modules() if isinstance(m, ReBranchConv2d)]

@@ -1,0 +1,92 @@
+"""Option I: ROM-CiM-based one-shot learning (ROSL, Fig. 6a).
+
+The feature extractor stays frozen in ROM-CiM; classification happens in
+an SRAM TCAM that compares the binarized query feature against stored
+class prototypes by Hamming distance (a matching-network [22] reduced to
+its hardware-friendly nearest-prototype form).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TcamDistanceClassifier:
+    """Ternary-CAM nearest-prototype classifier over binary codes.
+
+    Prototypes are the sign-binarized mean feature of each class's
+    support set; queries match by minimum Hamming distance — exactly the
+    operation a TCAM array evaluates in one cycle per stored word.
+    """
+
+    def __init__(self, feature_dim: int, num_classes: int):
+        if feature_dim <= 0 or num_classes <= 0:
+            raise ValueError("feature_dim and num_classes must be positive")
+        self.feature_dim = feature_dim
+        self.num_classes = num_classes
+        self.prototypes = np.zeros((num_classes, feature_dim), dtype=np.int8)
+        self._fitted = np.zeros(num_classes, dtype=bool)
+
+    @staticmethod
+    def binarize(features: np.ndarray) -> np.ndarray:
+        """Sign binarization to {0, 1} codes (TCAM storage format)."""
+        return (np.asarray(features) > 0).astype(np.int8)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Store one prototype per class from support examples."""
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if features.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"features have dim {features.shape[1]}, expected {self.feature_dim}"
+            )
+        for class_id in np.unique(labels):
+            mean = features[labels == class_id].mean(axis=0)
+            self.prototypes[class_id] = self.binarize(mean)
+            self._fitted[class_id] = True
+
+    def hamming_distances(self, features: np.ndarray) -> np.ndarray:
+        """(N, num_classes) Hamming distances of binarized queries."""
+        codes = self.binarize(features)
+        return (codes[:, None, :] != self.prototypes[None, :, :]).sum(axis=2)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        distances = self.hamming_distances(features).astype(np.float64)
+        distances[:, ~self._fitted] = np.inf
+        return distances.argmin(axis=1)
+
+    @property
+    def tcam_bits(self) -> int:
+        """TCAM storage: 2 bits per ternary cell word entry."""
+        return 2 * self.num_classes * self.feature_dim
+
+
+class RoslClassifier:
+    """Frozen feature extractor (ROM-CiM) + TCAM prototype classifier."""
+
+    def __init__(self, feature_extractor: nn.Module, feature_dim: int, num_classes: int):
+        self.extractor = feature_extractor
+        self.extractor.freeze()
+        self.extractor.eval()
+        self.tcam = TcamDistanceClassifier(feature_dim, num_classes)
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            out = self.extractor(Tensor(x))
+        features = out.data
+        return features.reshape(features.shape[0], -1)
+
+    def fit(self, x: np.ndarray, labels: np.ndarray) -> None:
+        """One-/few-shot enrolment from a (small) support set."""
+        self.tcam.fit(self._features(x), labels)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.tcam.predict(self._features(x))
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(labels)).mean())

@@ -1,0 +1,126 @@
+"""Transfer-learning training loop shared by all experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for a (scaled-down) transfer run."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 1e-2
+    weight_decay: float = 0.0
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise ValueError("need at least one epoch")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+
+@dataclass
+class TrainResult:
+    """History of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracy: float = 0.0
+    test_accuracy: float = 0.0
+    trainable_params: int = 0
+    total_params: int = 0
+
+    @property
+    def trainable_fraction(self) -> float:
+        return self.trainable_params / self.total_params if self.total_params else 0.0
+
+
+def evaluate_accuracy(model: nn.Module, x: np.ndarray, y: np.ndarray, batch_size: int = 64) -> float:
+    """Top-1 accuracy of ``model`` on arrays ``x`` (N,C,H,W), ``y`` (N,)."""
+    model.eval()
+    correct = 0
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            batch = Tensor(x[start : start + batch_size])
+            logits = model(batch)
+            preds = logits.data.argmax(axis=1)
+            correct += int((preds == y[start : start + batch_size]).sum())
+    model.train()
+    return correct / len(x)
+
+
+class TransferTrainer:
+    """Trains exactly the unfrozen parameters of a prepared model.
+
+    The preparation step (one of the ``apply_*`` policies in
+    :mod:`repro.rebranch.options`) decides what is ROM (frozen) vs SRAM
+    (trainable); this trainer then mirrors the paper's fine-tune runs.
+    """
+
+    def __init__(self, model: nn.Module, config: Optional[TrainConfig] = None):
+        self.model = model
+        self.config = config if config is not None else TrainConfig()
+        trainable = [p for p in model.parameters() if p.requires_grad]
+        if not trainable:
+            raise ValueError(
+                "model has no trainable parameters; apply a policy that "
+                "leaves at least the classifier unfrozen"
+            )
+        if self.config.optimizer == "adam":
+            self.optimizer: nn.Optimizer = nn.Adam(
+                trainable, lr=self.config.lr, weight_decay=self.config.weight_decay
+            )
+        else:
+            self.optimizer = nn.SGD(
+                trainable,
+                lr=self.config.lr,
+                momentum=self.config.momentum,
+                weight_decay=self.config.weight_decay,
+            )
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> TrainResult:
+        config = self.config
+        dataset = nn.TensorDataset(x_train, y_train)
+        loader = nn.DataLoader(
+            dataset, batch_size=config.batch_size, shuffle=True, seed=config.seed
+        )
+        result = TrainResult(
+            trainable_params=sum(
+                p.size for p in self.model.parameters() if p.requires_grad
+            ),
+            total_params=self.model.num_parameters(),
+        )
+        self.model.train()
+        for _ in range(config.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for batch_x, batch_y in loader:
+                self.optimizer.zero_grad()
+                logits = self.model(Tensor(batch_x))
+                loss = nn.cross_entropy(logits, batch_y.astype(int))
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            result.losses.append(epoch_loss / max(batches, 1))
+
+        result.train_accuracy = evaluate_accuracy(self.model, x_train, y_train)
+        if x_test is not None and y_test is not None:
+            result.test_accuracy = evaluate_accuracy(self.model, x_test, y_test)
+        return result

@@ -1,0 +1,7 @@
+"""Pytest configuration: register the slow marker."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: integration tests that train scaled models (seconds-minutes)"
+    )

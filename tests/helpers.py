@@ -1,0 +1,48 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[..., Tensor], inputs: Sequence[Tensor], index: int, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. inputs[index]."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(*inputs).data.sum()
+        flat[i] = original - eps
+        minus = fn(*inputs).data.sum()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autograd gradients match central differences for all inputs."""
+    out = fn(*inputs)
+    out.sum().backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        expected = numerical_grad(fn, inputs, index)
+        assert tensor.grad is not None, f"input {index} has no gradient"
+        np.testing.assert_allclose(
+            tensor.grad, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {index}",
+        )

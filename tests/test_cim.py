@@ -1,0 +1,355 @@
+"""Tests for the circuit-level CiM simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cim import (
+    ROM_1T,
+    SRAM_6T,
+    SRAM_CIM_6T,
+    AdcSpec,
+    BitlineModel,
+    CimMacro,
+    CimTiledMatmul,
+    MacroConfig,
+    SharedAdcBank,
+    all_cim_cells,
+    cim_conv2d,
+    cim_linear,
+    rom_macro_spec,
+    sram_macro_spec,
+)
+from repro.cim.macro import _bit_planes
+from repro.cim.spec import TABLE1_PAPER
+
+RNG = np.random.default_rng(21)
+
+
+class TestCells:
+    def test_rom_cell_area_is_headline(self):
+        assert ROM_1T.area_um2 == pytest.approx(0.014)
+
+    def test_6t_sram_16x(self):
+        assert SRAM_6T.relative_area(ROM_1T) == pytest.approx(16.0)
+
+    def test_cim_6t_18_5x(self):
+        assert SRAM_CIM_6T.relative_area(ROM_1T) == pytest.approx(18.5)
+
+    def test_published_cells_span_paper_range(self):
+        ratios = [c.relative_area(ROM_1T) for c in all_cim_cells() if c is not ROM_1T]
+        assert min(ratios) == pytest.approx(14.5)
+        assert max(ratios) == pytest.approx(29.5)
+
+    def test_rom_non_volatile_zero_standby(self):
+        assert not ROM_1T.volatile
+        assert ROM_1T.standby_leakage_pw == 0.0
+
+    def test_rom_density_beats_sram(self):
+        assert ROM_1T.density_mb_per_mm2 > 10 * SRAM_CIM_6T.density_mb_per_mm2
+
+
+class TestAdc:
+    def test_quantize_exact_at_full_resolution(self):
+        adc = AdcSpec(bits=7)
+        counts = np.arange(0, 128)
+        out = adc.quantize_counts(counts, full_scale=127)
+        np.testing.assert_allclose(out[:128], counts, atol=1e-9)
+
+    def test_quantize_5bit_step(self):
+        adc = AdcSpec(bits=5)
+        out = adc.quantize_counts(np.array([64.0]), full_scale=128)
+        step = 128 / 31
+        assert out[0] == pytest.approx(round(64 / step) * step)
+
+    def test_clipping_at_top_code(self):
+        adc = AdcSpec(bits=5)
+        out = adc.quantize_counts(np.array([500.0]), full_scale=128)
+        assert out[0] == pytest.approx(128.0)
+
+    def test_invalid_full_scale(self):
+        with pytest.raises(ValueError):
+            AdcSpec().quantize_counts(np.array([1.0]), 0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            AdcSpec(bits=0)
+
+    def test_shared_bank_mux_ratio(self):
+        bank = SharedAdcBank(AdcSpec(), n_adcs=16, n_columns=256)
+        assert bank.mux_ratio == 16
+        assert bank.conversions_for_full_readout() == 256
+
+    def test_shared_bank_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            SharedAdcBank(AdcSpec(), n_adcs=10, n_columns=256)
+
+    def test_readout_time_scales_with_columns(self):
+        bank = SharedAdcBank(AdcSpec(conversion_time_ns=1.0), 16, 256)
+        assert bank.readout_time_ns(16) == pytest.approx(1.0)
+        assert bank.readout_time_ns(256) == pytest.approx(16.0)
+
+
+class TestBitline:
+    def test_voltage_monotone_decreasing(self):
+        model = BitlineModel(max_rows=128)
+        v = model.counts_to_voltage(np.array([0, 64, 128]))
+        assert v[0] > v[1] > v[2]
+        assert v[0] == pytest.approx(model.v_precharge)
+
+    def test_voltage_count_inverse(self):
+        model = BitlineModel(max_rows=128)
+        counts = np.array([0.0, 13.0, 100.0])
+        np.testing.assert_allclose(
+            model.voltage_to_counts(model.counts_to_voltage(counts)), counts
+        )
+
+    def test_noise_zero_is_deterministic(self):
+        model = BitlineModel(noise_sigma_counts=0.0)
+        counts = np.array([5.0, 10.0])
+        np.testing.assert_array_equal(model.observe(counts), counts)
+
+    def test_noise_perturbs(self):
+        model = BitlineModel(noise_sigma_counts=1.0)
+        counts = np.full(1000, 50.0)
+        observed = model.observe(counts, np.random.default_rng(0))
+        assert observed.std() > 0.5
+
+    def test_saturation_clips(self):
+        model = BitlineModel(max_rows=128, saturation=0.5)
+        observed = model.observe(np.array([100.0]))
+        assert observed[0] == pytest.approx(64.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BitlineModel(max_rows=0)
+        with pytest.raises(ValueError):
+            BitlineModel(noise_sigma_counts=-1)
+
+
+class TestMacroConfig:
+    def test_logical_columns(self):
+        config = MacroConfig()
+        assert config.logical_columns == 32
+        assert config.capacity_bits == 128 * 256
+
+    def test_columns_must_divide(self):
+        with pytest.raises(ValueError):
+            MacroConfig(phys_columns=250)
+
+    def test_weight_range_signed(self):
+        assert MacroConfig().weight_range() == (-128, 127)
+
+    def test_input_range_unsigned_default(self):
+        assert MacroConfig().input_range() == (0, 255)
+
+
+class TestBitPlanes:
+    def test_unsigned_reconstruction(self):
+        codes = np.arange(0, 16)
+        planes, weights = _bit_planes(codes, 4, signed=False)
+        recon = np.einsum("k,kn->n", weights, planes)
+        np.testing.assert_array_equal(recon, codes)
+
+    def test_signed_twos_complement_reconstruction(self):
+        codes = np.arange(-8, 8)
+        planes, weights = _bit_planes(codes, 4, signed=True)
+        recon = np.einsum("k,kn->n", weights, planes)
+        np.testing.assert_array_equal(recon, codes)
+
+
+class TestCimMacro:
+    def _exact_config(self, rows=127, **kwargs):
+        # full_scale = rows = 2^bits - 1 makes the ADC lossless.
+        return MacroConfig(
+            rows=rows, phys_columns=64, n_adcs=16, adc=AdcSpec(bits=7), **kwargs
+        )
+
+    def test_exact_matmul_with_lossless_adc(self):
+        config = self._exact_config(signed_inputs=True)
+        weights = RNG.integers(-128, 128, size=(127, 8))
+        macro = CimMacro(config, weights)
+        x = RNG.integers(-128, 128, size=(127, 4))
+        out, _ = macro.matmul(x)
+        np.testing.assert_array_equal(out, macro.exact_matmul(x))
+
+    def test_vector_input_squeezed(self):
+        config = self._exact_config()
+        macro = CimMacro(config, RNG.integers(-10, 10, size=(127, 8)))
+        x = RNG.integers(0, 4, size=127)
+        out, _ = macro.matmul(x)
+        assert out.shape == (8,)
+
+    def test_5bit_adc_introduces_bounded_error(self):
+        rng = np.random.default_rng(5)
+        config = MacroConfig(rows=128, phys_columns=64, n_adcs=16, adc=AdcSpec(bits=5))
+        weights = rng.integers(-128, 128, size=(128, 8))
+        macro = CimMacro(config, weights)
+        x = rng.integers(0, 256, size=(128, 4))
+        approx, _ = macro.matmul(x)
+        exact = macro.exact_matmul(x)
+        error = np.abs(approx - exact)
+        assert error.max() > 0  # 5 bits cannot be lossless over 128 rows
+        # Worst case: half an ADC step on every (input bit, weight bit)
+        # partial, amplified by the shift-and-add weights.
+        step = 128 / 31
+        bound = (step / 2) * 255 * 255
+        assert error.max() <= bound
+
+    def test_weight_range_enforced(self):
+        with pytest.raises(ValueError):
+            CimMacro(MacroConfig(), np.array([[300]]))
+
+    def test_input_range_enforced(self):
+        macro = CimMacro(MacroConfig(), np.zeros((4, 2), dtype=int))
+        with pytest.raises(ValueError):
+            macro.matmul(np.full(4, -1))
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            CimMacro(MacroConfig(), np.zeros((300, 2), dtype=int))
+
+    def test_rom_cannot_be_reprogrammed(self):
+        macro = CimMacro(MacroConfig(cell=ROM_1T), np.zeros((4, 2), dtype=int))
+        with pytest.raises(RuntimeError, match="ROM"):
+            macro.program(np.ones((4, 2), dtype=int))
+
+    def test_sram_can_be_reprogrammed(self):
+        macro = CimMacro(MacroConfig(cell=SRAM_CIM_6T), np.zeros((4, 2), dtype=int))
+        macro.program(np.ones((4, 2), dtype=int))
+        np.testing.assert_array_equal(macro.weights, np.ones((4, 2)))
+
+    def test_stats_energy_positive_and_decomposed(self):
+        macro = CimMacro(MacroConfig(), RNG.integers(-8, 8, size=(128, 32)))
+        _, stats = macro.matmul(RNG.integers(0, 16, size=(128, 2)))
+        assert stats.total_energy_fj > 0
+        assert stats.adc_energy_fj > 0
+        assert stats.peripheral_energy_fj > 0
+        assert stats.macs == 128 * 32 * 2
+        assert stats.latency_ns > 0
+
+    def test_stats_addition(self):
+        macro = CimMacro(MacroConfig(), RNG.integers(-8, 8, size=(128, 32)))
+        _, a = macro.matmul(RNG.integers(0, 16, size=(128, 1)))
+        _, b = macro.matmul(RNG.integers(0, 16, size=(128, 1)))
+        total = a + b
+        assert total.macs == a.macs + b.macs
+        assert total.total_energy_fj == pytest.approx(
+            a.total_energy_fj + b.total_energy_fj
+        )
+
+    def test_noise_injection_changes_result(self):
+        config = MacroConfig(
+            rows=128,
+            phys_columns=64,
+            n_adcs=16,
+            adc=AdcSpec(bits=7),
+            bitline=BitlineModel(max_rows=128, noise_sigma_counts=2.0),
+        )
+        weights = RNG.integers(-64, 64, size=(128, 8))
+        macro = CimMacro(config, weights, rng=np.random.default_rng(1))
+        x = RNG.integers(0, 200, size=(128, 2))
+        noisy, _ = macro.matmul(x)
+        assert not np.array_equal(noisy, macro.exact_matmul(x))
+
+
+class TestTiledMatmul:
+    def test_matches_exact_with_lossless_adc(self):
+        config = MacroConfig(
+            rows=128, phys_columns=256, n_adcs=16, adc=AdcSpec(bits=7), signed_inputs=True
+        )
+        # rows per tile = 128 > 127 full-scale codes... use 127-row tiles:
+        config = MacroConfig(
+            rows=127, phys_columns=256, n_adcs=16, adc=AdcSpec(bits=7), signed_inputs=True
+        )
+        weights = RNG.integers(-100, 100, size=(400, 70))
+        engine = CimTiledMatmul(weights, config)
+        x = RNG.integers(-50, 50, size=(400, 3))
+        out, stats = engine.matmul(x)
+        np.testing.assert_array_equal(out, engine.exact_matmul(x))
+        assert stats.macs == 400 * 70 * 3
+
+    def test_tile_count(self):
+        config = MacroConfig()  # 128 rows x 32 logical cols
+        engine = CimTiledMatmul(np.zeros((200, 50), dtype=int), config)
+        assert engine.n_subarrays == 2 * 2
+        assert engine.n_row_tiles == 2
+
+    def test_latency_is_parallel_max_not_sum(self):
+        config = MacroConfig()
+        single = CimTiledMatmul(np.zeros((128, 32), dtype=int), config)
+        tiled = CimTiledMatmul(np.zeros((256, 64), dtype=int), config)
+        _, s1 = single.matmul(np.zeros(128, dtype=int))
+        _, s4 = tiled.matmul(np.zeros(256, dtype=int))
+        assert s4.latency_ns == pytest.approx(s1.latency_ns)
+
+    def test_row_mismatch_rejected(self):
+        engine = CimTiledMatmul(np.zeros((64, 8), dtype=int), MacroConfig())
+        with pytest.raises(ValueError):
+            engine.matmul(np.zeros(65, dtype=int))
+
+    def test_non_2d_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CimTiledMatmul(np.zeros(8, dtype=int), MacroConfig())
+
+
+class TestFloatPaths:
+    def test_cim_linear_close_to_float(self):
+        x = RNG.normal(size=(6, 40))
+        w = RNG.normal(size=(10, 40))
+        out, stats = cim_linear(x, w, MacroConfig(adc=AdcSpec(bits=8)))
+        ref = x @ w.T
+        rel = np.abs(out - ref).mean() / np.abs(ref).mean()
+        assert rel < 0.05
+        assert stats.macs == 40 * 10 * 6
+
+    def test_cim_linear_handles_unsigned_activations(self):
+        x = np.abs(RNG.normal(size=(4, 30)))
+        w = RNG.normal(size=(5, 30))
+        out, _ = cim_linear(x, w, MacroConfig(adc=AdcSpec(bits=8)))
+        ref = x @ w.T
+        assert np.abs(out - ref).mean() / np.abs(ref).mean() < 0.05
+
+    def test_cim_conv2d_close_to_float(self):
+        from repro.nn import functional as F
+        from repro.nn.tensor import Tensor
+
+        x = RNG.normal(size=(2, 3, 8, 8))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        out, _ = cim_conv2d(x, w, stride=1, padding=1, config=MacroConfig(adc=AdcSpec(bits=8)))
+        ref = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1).data
+        rel = np.abs(out - ref).mean() / np.abs(ref).mean()
+        assert rel < 0.08
+        assert out.shape == (2, 4, 8, 8)
+
+
+class TestMacroSpec:
+    def test_table1_within_2_percent(self):
+        table = rom_macro_spec().table()
+        for key, paper in TABLE1_PAPER.items():
+            if paper == 0:
+                assert table[key] == 0
+            else:
+                assert table[key] == pytest.approx(paper, rel=0.02), key
+
+    def test_density_ratio_about_19x(self):
+        ratio = rom_macro_spec().density_mb_mm2 / sram_macro_spec().density_mb_mm2
+        assert 17 < ratio < 21
+
+    def test_ops_per_inference(self):
+        assert rom_macro_spec().ops_per_inference == 256
+
+    def test_sram_standby_power_positive(self):
+        assert sram_macro_spec().standby_power_w > 0
+        assert rom_macro_spec().standby_power_w == 0
+
+    def test_invalid_efficiency(self):
+        from repro.cim.spec import MacroSpec
+
+        with pytest.raises(ValueError):
+            MacroSpec(name="x", array_efficiency=0)
+
+    def test_capacity_below_subarray_rejected(self):
+        from repro.cim.spec import MacroSpec
+
+        with pytest.raises(ValueError):
+            MacroSpec(name="x", capacity_bits=1000)

@@ -1,0 +1,194 @@
+"""Tests for the ADC-count / activated-rows design space (section 4.3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cim import (
+    AdcSpec,
+    CimMacro,
+    DesignPoint,
+    DesignSpaceConfig,
+    MacroConfig,
+    explore,
+    pareto_frontier,
+    partial_activation_matmul,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def make_macro(rows=128, cols=16, n_adcs=16, adc_bits=5, seed=0):
+    config = MacroConfig(rows=rows, n_adcs=n_adcs, adc=AdcSpec(bits=adc_bits))
+    weights = RNG.integers(-128, 128, size=(rows, cols))
+    return CimMacro(config, weights, rng=np.random.default_rng(seed))
+
+
+class TestPartialActivation:
+    def test_full_activation_matches_plain_matmul(self):
+        macro = make_macro()
+        x = RNG.integers(0, 256, size=(128, 4))
+        full, _ = partial_activation_matmul(macro, x, 128)
+        plain, _ = macro.matmul(x)
+        np.testing.assert_array_equal(full, plain)
+
+    def test_single_row_groups_are_exact(self):
+        """With one row on, every count is 0/1 — no quantization error."""
+        macro = make_macro()
+        x = RNG.integers(0, 256, size=(128, 3))
+        out, _ = partial_activation_matmul(macro, x, 1)
+        np.testing.assert_array_equal(out, macro.exact_matmul(x))
+
+    def test_small_groups_exact_within_adc_codes(self):
+        """Groups of <= 2^bits - 1 rows resolve every count exactly."""
+        macro = make_macro(adc_bits=5)
+        x = RNG.integers(0, 256, size=(128, 3))
+        out, _ = partial_activation_matmul(macro, x, 31)
+        np.testing.assert_array_equal(out, macro.exact_matmul(x))
+
+    def test_fewer_activated_rows_never_less_accurate(self):
+        macro = make_macro()
+        x = RNG.integers(0, 256, size=(128, 8))
+        exact = macro.exact_matmul(x)
+        err = {}
+        for w in (16, 128):
+            out, _ = partial_activation_matmul(macro, x, w)
+            err[w] = np.abs(out - exact).mean()
+        assert err[16] <= err[128]
+
+    def test_latency_grows_with_group_count(self):
+        macro = make_macro()
+        x = RNG.integers(0, 256, size=(128, 2))
+        _, s16 = partial_activation_matmul(macro, x, 16)
+        _, s128 = partial_activation_matmul(macro, x, 128)
+        assert s16.latency_ns == pytest.approx(8 * s128.latency_ns)
+
+    def test_macs_conserved_across_grouping(self):
+        macro = make_macro()
+        x = RNG.integers(0, 256, size=(128, 2))
+        for w in (1, 16, 33, 128):
+            _, stats = partial_activation_matmul(macro, x, w)
+            assert stats.macs == 128 * 16 * 2
+
+    def test_uneven_group_split(self):
+        macro = make_macro(rows=100)
+        x = RNG.integers(0, 256, size=(100, 2))
+        out, _ = partial_activation_matmul(macro, x, 31)
+        np.testing.assert_array_equal(out, macro.exact_matmul(x))
+
+    def test_oversized_group_clamps_to_rows(self):
+        macro = make_macro(rows=64)
+        x = RNG.integers(0, 256, size=(64, 2))
+        out, stats = partial_activation_matmul(macro, x, 512)
+        plain, plain_stats = macro.matmul(x)
+        np.testing.assert_array_equal(out, plain)
+        assert stats.cycles == plain_stats.cycles
+
+    def test_vector_input(self):
+        macro = make_macro(rows=32)
+        x = RNG.integers(0, 256, size=32)
+        out, _ = partial_activation_matmul(macro, x, 8)
+        assert out.shape == (16,)
+
+    def test_invalid_activated_rows(self):
+        macro = make_macro(rows=32)
+        with pytest.raises(ValueError, match="activated_rows"):
+            partial_activation_matmul(macro, np.zeros(32, dtype=int), 0)
+
+    def test_row_mismatch_rejected(self):
+        macro = make_macro(rows=32)
+        with pytest.raises(ValueError, match="rows"):
+            partial_activation_matmul(macro, np.zeros(33, dtype=int), 8)
+
+
+class TestPareto:
+    def point(self, err, lat, area):
+        return DesignPoint(
+            n_adcs=16,
+            activated_rows=32,
+            rel_error=err,
+            latency_ns=lat,
+            energy_per_mac_fj=1.0,
+            adc_area_mm2=area,
+            throughput_gops=1.0,
+        )
+
+    def test_dominance(self):
+        a = self.point(0.1, 10.0, 1.0)
+        b = self.point(0.2, 20.0, 2.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_no_self_dominance(self):
+        a = self.point(0.1, 10.0, 1.0)
+        assert not a.dominates(self.point(0.1, 10.0, 1.0))
+
+    def test_frontier_filters_dominated(self):
+        a = self.point(0.1, 10.0, 1.0)
+        b = self.point(0.2, 20.0, 2.0)  # dominated by a
+        c = self.point(0.05, 30.0, 3.0)  # best error, worst elsewhere
+        frontier = pareto_frontier([a, b, c])
+        assert a in frontier and c in frontier and b not in frontier
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1), st.floats(1, 100), st.floats(0.1, 10)
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_frontier_is_mutually_non_dominated(self, triples):
+        points = [self.point(*t) for t in triples]
+        frontier = pareto_frontier(points)
+        assert frontier  # something always survives
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+
+
+class TestExplore:
+    def test_grid_is_complete(self):
+        config = DesignSpaceConfig(
+            adc_counts=(16, 32), activated_rows=(32, 128), n_vectors=4
+        )
+        result = explore(config)
+        assert len(result.points) == 4
+        assert result.at(16, 32).rel_error <= result.at(16, 128).rel_error
+
+    def test_more_adcs_reduce_latency(self):
+        config = DesignSpaceConfig(
+            adc_counts=(16, 64), activated_rows=(128,), n_vectors=4
+        )
+        result = explore(config)
+        assert result.at(64, 128).latency_ns < result.at(16, 128).latency_ns
+
+    def test_adc_area_scales_with_count(self):
+        config = DesignSpaceConfig(
+            adc_counts=(8, 64), activated_rows=(128,), n_vectors=2
+        )
+        result = explore(config)
+        assert result.at(64, 128).adc_area_mm2 == pytest.approx(
+            8 * result.at(8, 128).adc_area_mm2
+        )
+
+    def test_uneven_adc_share_rejected(self):
+        config = DesignSpaceConfig(adc_counts=(17,), n_vectors=2)
+        with pytest.raises(ValueError, match="evenly"):
+            explore(config)
+
+    def test_missing_point_raises(self):
+        config = DesignSpaceConfig(
+            adc_counts=(16,), activated_rows=(128,), n_vectors=2
+        )
+        result = explore(config)
+        with pytest.raises(KeyError):
+            result.at(99, 1)
+
+    def test_frontier_nonempty(self):
+        config = DesignSpaceConfig(
+            adc_counts=(16, 32), activated_rows=(16, 128), n_vectors=4
+        )
+        result = explore(config)
+        assert result.frontier()

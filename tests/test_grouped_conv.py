@@ -1,0 +1,196 @@
+"""Tests for grouped/depthwise convolution and the MobileNet model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import models, nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(5)
+
+
+def reference_grouped_conv(x, w, groups, stride=1, padding=0):
+    """Grouped conv as `groups` independent dense convolutions."""
+    n, c, _, _ = x.shape
+    oc = w.shape[0]
+    c_g, oc_g = c // groups, oc // groups
+    outs = []
+    for g in range(groups):
+        xg = Tensor(x[:, g * c_g : (g + 1) * c_g])
+        wg = Tensor(w[g * oc_g : (g + 1) * oc_g])
+        outs.append(F.conv2d(xg, wg, stride=stride, padding=padding).data)
+    return np.concatenate(outs, axis=1)
+
+
+class TestGroupedForward:
+    def test_groups_1_unchanged(self):
+        x = RNG.normal(size=(2, 4, 8, 8))
+        w = RNG.normal(size=(6, 4, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), groups=1)
+        ref = F.conv2d(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, ref.data)
+
+    @pytest.mark.parametrize("groups", [2, 4])
+    def test_matches_split_reference(self, groups):
+        x = RNG.normal(size=(2, 8, 10, 10))
+        w = RNG.normal(size=(8, 8 // groups, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), groups=groups, padding=1)
+        ref = reference_grouped_conv(x, w, groups, padding=1)
+        np.testing.assert_allclose(out.data, ref, atol=1e-12)
+
+    def test_depthwise_is_per_channel_filter(self):
+        x = RNG.normal(size=(1, 3, 6, 6))
+        w = RNG.normal(size=(3, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), groups=3, padding=1)
+        for channel in range(3):
+            single = F.conv2d(
+                Tensor(x[:, channel : channel + 1]),
+                Tensor(w[channel : channel + 1]),
+                padding=1,
+            )
+            np.testing.assert_allclose(
+                out.data[:, channel], single.data[:, 0], atol=1e-12
+            )
+
+    def test_bias_applied(self):
+        x = np.zeros((1, 2, 4, 4))
+        w = np.zeros((2, 1, 1, 1))
+        b = np.array([1.0, -2.0])
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), groups=2)
+        assert out.data[0, 0].max() == pytest.approx(1.0)
+        assert out.data[0, 1].min() == pytest.approx(-2.0)
+
+    def test_invalid_groups(self):
+        x = Tensor(np.zeros((1, 6, 4, 4)))
+        with pytest.raises(ValueError, match="groups"):
+            F.conv2d(x, Tensor(np.zeros((4, 2, 1, 1))), groups=4)
+        with pytest.raises(ValueError, match="groups"):
+            F.conv2d(x, Tensor(np.zeros((6, 3, 1, 1))), groups=0)
+
+    def test_weight_group_shape_mismatch(self):
+        x = Tensor(np.zeros((1, 6, 4, 4)))
+        with pytest.raises(ValueError, match="per group"):
+            F.conv2d(x, Tensor(np.zeros((6, 6, 1, 1))), groups=2)
+
+
+class TestGroupedBackward:
+    def _numeric_grad(self, f, array, eps=1e-6):
+        grad = np.zeros_like(array)
+        flat, gflat = array.ravel(), grad.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = f()
+            flat[i] = orig - eps
+            minus = f()
+            flat[i] = orig
+            gflat[i] = (plus - minus) / (2 * eps)
+        return grad
+
+    def test_gradients_match_numeric(self):
+        x_data = RNG.normal(size=(1, 4, 5, 5))
+        w_data = RNG.normal(size=(4, 2, 3, 3))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        out = F.conv2d(x, w, groups=2, padding=1)
+        out.sum().backward()
+
+        def loss_x():
+            return F.conv2d(Tensor(x_data), Tensor(w_data), groups=2, padding=1).data.sum()
+
+        gx = self._numeric_grad(loss_x, x_data)
+        np.testing.assert_allclose(x.grad, gx, atol=1e-4)
+
+        def loss_w():
+            return F.conv2d(Tensor(x_data), Tensor(w_data), groups=2, padding=1).data.sum()
+
+        gw = self._numeric_grad(loss_w, w_data)
+        np.testing.assert_allclose(w.grad, gw, atol=1e-4)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_depthwise_grad_matches_dense_equivalent(self, seed):
+        """Depthwise == dense conv with a block-diagonal kernel."""
+        rng = np.random.default_rng(seed)
+        c = 3
+        x_data = rng.normal(size=(1, c, 4, 4))
+        w_dw = rng.normal(size=(c, 1, 3, 3))
+        w_dense = np.zeros((c, c, 3, 3))
+        for i in range(c):
+            w_dense[i, i] = w_dw[i, 0]
+
+        x1 = Tensor(x_data.copy(), requires_grad=True)
+        out1 = F.conv2d(x1, Tensor(w_dw), groups=c, padding=1)
+        (out1 * out1).sum().backward()
+
+        x2 = Tensor(x_data.copy(), requires_grad=True)
+        out2 = F.conv2d(x2, Tensor(w_dense), padding=1)
+        (out2 * out2).sum().backward()
+
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-12)
+        np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-10)
+
+
+class TestConv2dLayerGroups:
+    def test_weight_shape(self):
+        conv = nn.Conv2d(8, 8, 3, groups=8, rng=np.random.default_rng(0))
+        assert conv.weight.shape == (8, 1, 3, 3)
+
+    def test_invalid_layer_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            nn.Conv2d(6, 8, 3, groups=4)
+
+    def test_repr_mentions_groups(self):
+        conv = nn.Conv2d(8, 8, 3, groups=2, rng=np.random.default_rng(0))
+        assert "groups=2" in conv.extra_repr()
+
+
+class TestMobileNet:
+    def test_forward_shape(self):
+        model = models.build_model(
+            "mobilenet", num_classes=7, width_mult=0.25, rng=np.random.default_rng(0)
+        )
+        x = Tensor(RNG.normal(size=(2, 3, 32, 32)))
+        out = model(x)
+        assert out.shape == (2, 7)
+
+    def test_profile_counts_grouped_params(self):
+        model = models.build_model(
+            "mobilenet", width_mult=0.25, rng=np.random.default_rng(0)
+        )
+        profile = models.profile_model(model, (1, 3, 32, 32))
+        total = sum(p.size for p in model.parameters())
+        # Profile counts conv/bn/linear weights; it must match the real
+        # parameter count (grouped convs included).
+        assert profile.total_params == total
+
+    def test_depthwise_much_cheaper_than_dense(self):
+        model = models.build_model(
+            "mobilenet", width_mult=0.5, rng=np.random.default_rng(0)
+        )
+        profile = models.profile_model(model, (1, 3, 32, 32))
+        convs = [l for l in profile.layers if l.kind == "conv"]
+        depthwise = [l for l in convs if l.matrix_shape[0] == 9]
+        dense = [l for l in convs if l.matrix_shape[0] > 9]
+        assert depthwise and dense
+        # Depthwise layers carry a small fraction of the conv weights.
+        assert sum(l.params for l in depthwise) < 0.2 * sum(
+            l.params for l in dense
+        )
+
+    def test_registry_knows_mobilenet(self):
+        assert "mobilenet" in models.available_models()
+
+    def test_trains_one_step(self):
+        model = models.build_model(
+            "mobilenet", num_classes=4, width_mult=0.25, rng=np.random.default_rng(0)
+        )
+        x = Tensor(RNG.normal(size=(4, 3, 16, 16)))
+        y = np.array([0, 1, 2, 3])
+        logits = model(x)
+        loss = F.cross_entropy(logits, y)
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.requires_grad]
+        assert all(g is not None for g in grads)

@@ -1,0 +1,147 @@
+"""Tests for the ping-pong weight-reload scheduler (section 4.3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import models
+from repro.arch import (
+    DramSpec,
+    LayerTask,
+    double_buffered_schedule,
+    relief_summary,
+    serial_schedule,
+    tasks_for_single_chip,
+)
+
+task_values = st.tuples(
+    st.floats(0.0, 1e4),  # compute_ns
+    st.floats(0.0, 1e4),  # load_ns
+)
+
+
+def make_tasks(pairs):
+    return [
+        LayerTask(
+            name=f"layer{i}", compute_ns=c, load_bits=l * 10.0, load_ns=l
+        )
+        for i, (c, l) in enumerate(pairs)
+    ]
+
+
+class TestSchedules:
+    def test_serial_makespan_is_sum(self):
+        tasks = make_tasks([(10, 5), (20, 15)])
+        schedule = serial_schedule(tasks)
+        schedule.validate()
+        assert schedule.makespan_ns == pytest.approx(50)
+
+    def test_pingpong_overlaps_load_with_compute(self):
+        # load of layer1 (15ns) hides under compute of layer0 (10ns of it).
+        tasks = make_tasks([(10, 5), (20, 15)])
+        schedule = double_buffered_schedule(tasks)
+        schedule.validate()
+        assert schedule.makespan_ns == pytest.approx(5 + 10 + 20 + 5)
+        # (load0, compute0 while load1 runs 15ns -> ready at t=20, compute1)
+
+    def test_pingpong_never_slower_than_serial(self):
+        tasks = make_tasks([(3, 9), (7, 2), (5, 5), (1, 8)])
+        serial = serial_schedule(tasks).makespan_ns
+        pingpong = double_buffered_schedule(tasks).makespan_ns
+        assert pingpong <= serial
+
+    def test_no_loads_makes_schedules_equal(self):
+        tasks = make_tasks([(10, 0), (20, 0), (5, 0)])
+        assert double_buffered_schedule(tasks).makespan_ns == pytest.approx(
+            serial_schedule(tasks).makespan_ns
+        )
+
+    def test_bank_reuse_constraint(self):
+        """Layer l's load waits for layer l-2's compute to retire."""
+        tasks = make_tasks([(100, 1), (1, 1), (1, 1)])
+        schedule = double_buffered_schedule(tasks)
+        schedule.validate()
+        by_name = {e.name: e for e in schedule.entries}
+        # layer2 reuses layer0's bank -> cannot load before t=101.
+        assert by_name["layer2"].load_start_ns >= by_name["layer0"].compute_end_ns
+
+    def test_compute_slowdown_penalizes_pingpong(self):
+        tasks = make_tasks([(10, 1), (10, 1), (10, 1)])
+        fast = double_buffered_schedule(tasks, compute_slowdown=1.0)
+        slow = double_buffered_schedule(tasks, compute_slowdown=2.0)
+        assert slow.makespan_ns > fast.makespan_ns
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            double_buffered_schedule([], compute_slowdown=0.5)
+
+    def test_negative_task_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            LayerTask(name="bad", compute_ns=-1.0, load_bits=0.0, load_ns=0.0)
+
+    def test_empty_schedule(self):
+        assert serial_schedule([]).makespan_ns == 0.0
+        assert double_buffered_schedule([]).makespan_ns == 0.0
+
+    @given(st.lists(task_values, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_bounds(self, pairs):
+        """makespan in [max(compute_sum, load_sum), serial_sum]."""
+        tasks = make_tasks(pairs)
+        serial = serial_schedule(tasks)
+        pingpong = double_buffered_schedule(tasks)
+        serial.validate()
+        pingpong.validate()
+        compute_sum = sum(t.compute_ns for t in tasks)
+        load_sum = sum(t.load_ns for t in tasks)
+        assert pingpong.makespan_ns >= max(compute_sum, load_sum) - 1e-6
+        assert pingpong.makespan_ns <= serial.makespan_ns + 1e-6
+        assert serial.makespan_ns == pytest.approx(compute_sum + load_sum)
+
+    @given(st.lists(task_values, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_utilization_in_unit_interval(self, pairs):
+        schedule = double_buffered_schedule(make_tasks(pairs))
+        assert 0.0 <= schedule.compute_utilization <= 1.0 + 1e-9
+
+
+class TestSingleChipTasks:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        model = models.build_model("vgg8", rng=np.random.default_rng(0))
+        return models.profile_model(model, (1, 3, 32, 32))
+
+    def test_residency_in_layer_order(self, profile):
+        layers = profile.weight_layers()
+        first_bits = layers[0].params * 8
+        tasks = tasks_for_single_chip(profile, first_bits, chip_gops=100.0)
+        assert tasks[0].load_bits == 0.0
+        assert any(t.load_bits > 0 for t in tasks[1:])
+
+    def test_everything_resident_no_loads(self, profile):
+        total_bits = sum(l.params * 8 for l in profile.weight_layers())
+        tasks = tasks_for_single_chip(profile, total_bits, chip_gops=100.0)
+        assert all(t.load_bits == 0.0 for t in tasks)
+
+    def test_reload_factor_multiplies_traffic(self, profile):
+        t1 = tasks_for_single_chip(profile, 0, chip_gops=100.0, reload_factor=1)
+        t3 = tasks_for_single_chip(profile, 0, chip_gops=100.0, reload_factor=3)
+        assert sum(t.load_bits for t in t3) == pytest.approx(
+            3 * sum(t.load_bits for t in t1)
+        )
+
+    def test_invalid_throughput(self, profile):
+        with pytest.raises(ValueError, match="throughput"):
+            tasks_for_single_chip(profile, 0, chip_gops=0.0)
+
+    def test_relief_summary_energy_identical(self, profile):
+        tasks = tasks_for_single_chip(profile, 0, chip_gops=10.0)
+        summary = relief_summary(tasks)
+        assert summary["serial_dram_pj"] == summary["pingpong_dram_pj"]
+        assert summary["latency_relief"] >= 1.0
+
+    def test_relief_positive_when_loads_comparable(self, profile):
+        dram = DramSpec(bandwidth_gbps=20.0)
+        tasks = tasks_for_single_chip(profile, 0, chip_gops=50.0, dram=dram)
+        summary = relief_summary(tasks, dram=dram)
+        assert summary["latency_relief"] > 1.05

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cim import AdcSpec, CimMacro, MacroConfig
+from repro.cim.macro import _bit_planes
+from repro.eval.detection import iou, iou_matrix
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, unbroadcast
+from repro.quant import QuantSpec, dequantize, quantize
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestQuantProperties:
+    @given(finite_arrays, st.integers(2, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_error_within_half_step(self, values, bits):
+        spec = QuantSpec(bits=bits)
+        codes, scale = quantize(values, spec)
+        recon = dequantize(codes, scale)
+        # Values inside the symmetric range reconstruct within scale/2;
+        # the most negative extreme may clip by at most one step.
+        assert np.abs(recon - values).max() <= float(scale) + 1e-9
+
+    @given(finite_arrays, st.integers(2, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_codes_in_declared_range(self, values, bits):
+        spec = QuantSpec(bits=bits)
+        codes, _ = quantize(values, spec)
+        assert codes.min() >= spec.qmin
+        assert codes.max() <= spec.qmax
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_idempotent(self, values):
+        spec = QuantSpec(bits=8)
+        codes, scale = quantize(values, spec)
+        recon = dequantize(codes, scale)
+        codes2, scale2 = quantize(recon, spec)
+        np.testing.assert_allclose(dequantize(codes2, scale2), recon, atol=1e-9)
+
+    @given(
+        st.integers(2, 8),
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            elements=st.integers(-128, 127),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_planes_reconstruct(self, bits, codes):
+        codes = np.clip(codes, -(2 ** (bits - 1)), 2 ** (bits - 1) - 1)
+        planes, weights = _bit_planes(codes, bits, signed=True)
+        recon = np.einsum("k,k...->...", weights, planes)
+        np.testing.assert_array_equal(recon, codes)
+
+
+class TestIouProperties:
+    boxes = st.tuples(
+        st.floats(0, 0.8), st.floats(0, 0.8), st.floats(0.05, 0.2), st.floats(0.05, 0.2)
+    ).map(lambda t: np.array([t[0], t[1], t[0] + t[2], t[1] + t[3]]))
+
+    @given(boxes, boxes)
+    @settings(max_examples=100, deadline=None)
+    def test_iou_symmetric(self, a, b):
+        assert iou(a, b) == iou(b, a)
+
+    @given(boxes, boxes)
+    @settings(max_examples=100, deadline=None)
+    def test_iou_in_unit_interval(self, a, b):
+        value = iou(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_iou_self_is_one(self, a):
+        assert abs(iou(a, a) - 1.0) < 1e-9
+
+    @given(st.lists(boxes, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_iou_matrix_consistent_with_scalar(self, box_list):
+        boxes = np.stack(box_list)
+        matrix = iou_matrix(boxes, boxes)
+        for i in range(len(boxes)):
+            assert abs(matrix[i, i] - 1.0) < 1e-9
+            for j in range(len(boxes)):
+                assert abs(matrix[i, j] - iou(boxes[i], boxes[j])) < 1e-9
+
+
+class TestTensorProperties:
+    small = hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=6),
+        elements=st.floats(-10, 10, allow_nan=False),
+    )
+
+    @given(small)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        t = Tensor(values, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(values))
+
+    @given(small, small)
+    @settings(max_examples=50, deadline=None)
+    def test_addition_commutes(self, a, b):
+        if a.shape != b.shape:
+            return
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_array_equal(left, right)
+
+    @given(small)
+    @settings(max_examples=50, deadline=None)
+    def test_relu_idempotent(self, values):
+        once = F.relu(Tensor(values)).data
+        twice = F.relu(Tensor(once)).data
+        np.testing.assert_array_equal(once, twice)
+
+    @given(small)
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_rows_sum_to_one(self, values):
+        if values.ndim != 2:
+            return
+        probs = F.softmax(Tensor(values), axis=1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(values.shape[0]), rtol=1e-9)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, values):
+        target_shape = (1,) + values.shape[1:]
+        grad = np.broadcast_to(np.ones(target_shape), values.shape).copy()
+        reduced = unbroadcast(grad, target_shape)
+        assert reduced.shape == target_shape
+        assert reduced.sum() == grad.sum()
+
+
+class TestMacroProperties:
+    @given(
+        st.integers(1, 31),  # rows (full_scale <= levels-1 keeps ADC exact)
+        st.integers(1, 4),  # logical cols
+        st.integers(0, 3),  # data seed
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_macro_exact_when_adc_resolves_rows(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        config = MacroConfig(
+            rows=rows if rows > 0 else 1,
+            phys_columns=32,
+            n_adcs=16,
+            adc=AdcSpec(bits=5),
+            signed_inputs=True,
+        )
+        weights = rng.integers(-128, 128, size=(rows, min(cols, config.logical_columns)))
+        macro = CimMacro(config, weights)
+        x = rng.integers(-128, 128, size=(rows, 2))
+        out, _ = macro.matmul(x)
+        np.testing.assert_array_equal(out, macro.exact_matmul(x))
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_monotone_in_vectors(self, seed):
+        rng = np.random.default_rng(seed)
+        config = MacroConfig()
+        macro = CimMacro(config, rng.integers(-8, 8, size=(64, 8)))
+        x1 = rng.integers(0, 32, size=(64, 1))
+        x2 = np.concatenate([x1, x1], axis=1)
+        _, s1 = macro.matmul(x1)
+        _, s2 = macro.matmul(x2)
+        assert s2.total_energy_fj > s1.total_energy_fj
+        assert s2.macs == 2 * s1.macs

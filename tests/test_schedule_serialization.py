@@ -1,0 +1,161 @@
+"""Tests for LR schedules, gradient clipping, and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.schedule import CosineLR, StepLR, WarmupLR, clip_grad_norm
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.tensor import Tensor
+
+
+def _opt(lr=0.1):
+    param = Tensor(np.ones(3), requires_grad=True)
+    return nn.SGD([param], lr=lr), param
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt, _ = _opt(lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(4)]
+        assert rates == [1.0, 0.5, 0.5, 0.25]
+
+    def test_invalid_params(self):
+        opt, _ = _opt()
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=1, gamma=0.0)
+
+    def test_optimizer_lr_mutated(self):
+        opt, _ = _opt(lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestCosineLR:
+    def test_monotone_decay_to_min(self):
+        opt, _ = _opt(lr=1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.01)
+        rates = [sched.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(0.01, rel=1e-6)
+
+    def test_clamps_beyond_t_max(self):
+        opt, _ = _opt(lr=1.0)
+        sched = CosineLR(opt, t_max=5, min_lr=0.01)
+        for _ in range(8):
+            last = sched.step()
+        assert last == pytest.approx(0.01, rel=1e-6)
+
+    def test_invalid_t_max(self):
+        opt, _ = _opt()
+        with pytest.raises(ValueError):
+            CosineLR(opt, t_max=0)
+
+
+class TestWarmupLR:
+    def test_starts_low_reaches_base(self):
+        opt, _ = _opt(lr=1.0)
+        sched = WarmupLR(opt, warmup_epochs=4)
+        assert opt.lr < 1.0
+        for _ in range(4):
+            sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_rates_monotone_during_warmup(self):
+        opt, _ = _opt(lr=1.0)
+        sched = WarmupLR(opt, warmup_epochs=5)
+        rates = [sched.step() for _ in range(5)]
+        assert rates == sorted(rates)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.ones(4) * 0.1
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(p.grad, 0.1 * np.ones(4))
+
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.ones(4) * 10.0
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.sqrt((p.grad**2).sum()) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=True)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_handles_missing_grads(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestCheckpointing:
+    def _model(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 3, rng=rng),
+        )
+
+    def test_round_trip(self, tmp_path):
+        model_a = self._model(seed=0)
+        model_b = self._model(seed=99)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model_a, path, metadata={"stage": "pretrain"})
+        meta = load_checkpoint(model_b, path)
+        assert meta["stage"] == "pretrain"
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 4, 4)))
+        model_a.eval()
+        model_b.eval()
+        np.testing.assert_allclose(model_a(x).data, model_b(x).data)
+
+    def test_buffers_restored(self, tmp_path):
+        model = self._model()
+        model(Tensor(np.random.default_rng(0).normal(size=(8, 3, 4, 4))))
+        running = model[1].running_mean.copy()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        fresh = self._model(seed=5)
+        load_checkpoint(fresh, path)
+        np.testing.assert_allclose(fresh[1].running_mean, running)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(self._model(), tmp_path / "missing.npz")
+
+    def test_non_strict_partial_load(self, tmp_path):
+        model = self._model()
+        path = tmp_path / "ckpt"
+        save_checkpoint(model, path)  # numpy appends .npz
+        fresh = self._model(seed=3)
+        load_checkpoint(fresh, path, strict=False)
+        np.testing.assert_allclose(
+            fresh[0].weight.data, model[0].weight.data
+        )
+
+    def test_metadata_survives(self, tmp_path):
+        model = self._model()
+        path = tmp_path / "c.npz"
+        save_checkpoint(model, path, metadata={"d": "4", "u": "4"})
+        meta = load_checkpoint(self._model(seed=1), path)
+        assert meta["d"] == "4"
+        assert meta["n_entries"] == len(model.state_dict())

@@ -1,0 +1,88 @@
+"""Tests for the on-chip training cost model (section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.arch import TrainingCostModel
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    model = models.build_model("vgg8", rng=np.random.default_rng(0))
+    return models.profile_model(model, (1, 3, 32, 32))
+
+
+@pytest.fixture(scope="module")
+def yolo_profile():
+    model = models.build_model("yolo", rng=np.random.default_rng(0))
+    return models.profile_model(model, (1, 3, 416, 416))
+
+
+@pytest.fixture()
+def cost_model():
+    return TrainingCostModel()
+
+
+class TestStepCost:
+    def test_full_step_is_three_forwards(self, cost_model, vgg_profile):
+        cost = cost_model.step_cost(vgg_profile, "full")
+        assert cost.activation_grad_pj == pytest.approx(cost.forward_pj)
+        assert cost.weight_grad_pj == pytest.approx(cost.forward_pj)
+
+    def test_rebranch_weight_grad_much_smaller(self, cost_model, vgg_profile):
+        cost = cost_model.step_cost(vgg_profile, "rebranch")
+        assert cost.weight_grad_pj < 0.35 * cost.forward_pj
+
+    def test_rebranch_trains_small_fraction(self, cost_model, vgg_profile):
+        cost = cost_model.step_cost(vgg_profile, "rebranch")
+        assert cost.trainable_fraction < 0.35
+
+    def test_full_trains_everything(self, cost_model, vgg_profile):
+        cost = cost_model.step_cost(vgg_profile, "full")
+        assert cost.trainable_fraction == pytest.approx(1.0)
+
+    def test_write_energy_scales_with_trainable_bits(self, cost_model, vgg_profile):
+        full = cost_model.step_cost(vgg_profile, "full")
+        rebranch = cost_model.step_cost(vgg_profile, "rebranch")
+        assert full.array_write_pj / rebranch.array_write_pj == pytest.approx(
+            full.trainable_bits / rebranch.trainable_bits
+        )
+
+    def test_unknown_regime_rejected(self, cost_model, vgg_profile):
+        with pytest.raises(ValueError, match="regime"):
+            cost_model.step_cost(vgg_profile, "lora")
+
+    def test_small_model_no_dram(self, cost_model, vgg_profile):
+        for regime in ("full", "rebranch"):
+            cost = cost_model.step_cost(vgg_profile, regime)
+            if cost.trainable_bits <= cost_model.sram_capacity_bits:
+                assert cost.dram_pj == 0.0
+
+    def test_large_model_full_training_hits_dram(self, cost_model, yolo_profile):
+        full = cost_model.step_cost(yolo_profile, "full")
+        rebranch = cost_model.step_cost(yolo_profile, "rebranch")
+        assert full.dram_pj > 0.0
+        # The YOLoC branch weights fit on chip: no per-step DRAM.
+        assert rebranch.dram_pj == 0.0
+
+    def test_stronger_compression_cheaper_updates(self, cost_model, vgg_profile):
+        loose = cost_model.step_cost(vgg_profile, "rebranch", d=2, u=2)
+        tight = cost_model.step_cost(vgg_profile, "rebranch", d=8, u=8)
+        assert tight.trainable_bits < loose.trainable_bits
+        assert tight.array_write_pj < loose.array_write_pj
+
+
+class TestSummary:
+    def test_rebranch_saves_energy(self, cost_model, yolo_profile):
+        summary = cost_model.summary(yolo_profile)
+        assert summary["energy_saving"] > 1.5
+
+    def test_trainable_reduction_order_of_magnitude(self, cost_model, yolo_profile):
+        summary = cost_model.summary(yolo_profile)
+        assert summary["trainable_reduction"] > 5
+
+    def test_summary_consistent_with_step_costs(self, cost_model, vgg_profile):
+        summary = cost_model.summary(vgg_profile)
+        full = cost_model.step_cost(vgg_profile, "full")
+        assert summary["full_step_uj"] == pytest.approx(full.total_pj / 1e6)
