@@ -13,6 +13,9 @@ Top-level subpackages
     Uniform quantization and quantization-aware training utilities.
 ``repro.cim``
     Circuit-level ROM-CiM / SRAM-CiM macro simulation (Table I).
+``repro.runtime``
+    Compile-once / execute-many deployment runtime: program macros
+    once, stream batches through cached engines.
 ``repro.arch``
     System-level area/latency/energy simulator (Figs. 12-14).
 ``repro.rebranch``
@@ -25,13 +28,14 @@ Top-level subpackages
     One runner per paper table/figure.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "nn",
     "models",
     "quant",
     "cim",
+    "runtime",
     "arch",
     "rebranch",
     "datasets",

@@ -51,6 +51,7 @@ from repro.arch.pipeline import (
     serial_schedule,
     double_buffered_schedule,
     tasks_for_single_chip,
+    tasks_for_compiled,
     relief_summary,
 )
 from repro.arch.training import (
@@ -76,6 +77,7 @@ from repro.arch.system import (
     SramSingleChipSystem,
     SramChipletSystem,
     evaluate_all_systems,
+    evaluate_compiled,
 )
 
 __all__ = [
@@ -110,6 +112,7 @@ __all__ = [
     "SramSingleChipSystem",
     "SramChipletSystem",
     "evaluate_all_systems",
+    "evaluate_compiled",
     "MeshNocSpec",
     "NocTrafficReport",
     "map_layers_to_tiles",
@@ -123,6 +126,7 @@ __all__ = [
     "serial_schedule",
     "double_buffered_schedule",
     "tasks_for_single_chip",
+    "tasks_for_compiled",
     "relief_summary",
     "RomChipletSystem",
     "ChipletScalingPoint",

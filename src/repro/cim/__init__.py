@@ -53,9 +53,16 @@ from repro.cim.variation import (
     variation_sweep,
     tolerable_cell_sigma,
 )
-from repro.cim.mvm import CimTiledMatmul, cim_linear, cim_conv2d
+from repro.cim.mvm import (
+    CimTiledMatmul,
+    cim_linear,
+    cim_conv2d,
+    reference_cim_linear,
+    reference_cim_conv2d,
+)
 from repro.cim.deploy import (
     CimDeployedModel,
+    DeployedLayerInfo,
     DeploymentReport,
     deploy_model,
     fold_batchnorm,
@@ -102,7 +109,10 @@ __all__ = [
     "CimTiledMatmul",
     "cim_linear",
     "cim_conv2d",
+    "reference_cim_linear",
+    "reference_cim_conv2d",
     "CimDeployedModel",
+    "DeployedLayerInfo",
     "DeploymentReport",
     "deploy_model",
     "fold_batchnorm",

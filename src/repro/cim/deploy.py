@@ -14,14 +14,19 @@ layer exactly like the YOLoC chip (Fig. 9):
 * batch-norm is folded into the preceding convolution beforehand
   (:func:`fold_batchnorm`), as any fixed-weight deployment must.
 
-The deployed model accumulates :class:`~repro.cim.macro.MacroStats`
-per inference, so accuracy and energy/latency come out of one run.
+Since the compile-once refactor this module is a thin wrapper over
+:mod:`repro.runtime`: construction *programs* the model's macros once
+(``repro.runtime.compile``) and every forward call only streams the
+batch through the cached engines.  The wrapper keeps the seed API —
+stats accumulate in :attr:`CimDeployedModel.last_stats`, and weights
+mutated in place between calls are picked up by re-fingerprinting —
+while new code should prefer :class:`~repro.runtime.CompiledModel`
+directly for per-session accounting and explicit cache control.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -29,81 +34,19 @@ from repro import nn
 from repro.cim.cells import ROM_1T, SRAM_CIM_6T
 from repro.cim.macro import MacroConfig, MacroStats
 from repro.cim.encoding import ActivationEncoding
-from repro.cim.mvm import cim_conv2d, cim_linear
-from repro.nn.tensor import Tensor
-from repro.rebranch.branch import ReBranchConv2d
+from repro.runtime.programming import (  # re-exported for compatibility
+    DeployedLayerInfo,
+    DeploymentReport,
+    fold_batchnorm,
+)
 
-
-# ----------------------------------------------------------------------
-# Batch-norm folding
-# ----------------------------------------------------------------------
-def fold_batchnorm(model: nn.Module) -> int:
-    """Fold every (Conv2d -> BatchNorm2d) pair inside ConvBNAct-style
-    blocks into the convolution's weights and bias, in place.
-
-    Uses the running statistics, so the model must have been trained (or
-    at least run) in training mode first.  After folding, the BN module
-    is replaced by Identity.  Returns the number of folded pairs.
-    """
-    folded = 0
-    for module in model.modules():
-        pairs = _conv_bn_pairs(module)
-        for parent, conv_name, bn_name in pairs:
-            conv = getattr(parent, conv_name)
-            bn = getattr(parent, bn_name)
-            _fold_pair(conv, bn)
-            setattr(parent, bn_name, nn.Identity())
-            folded += 1
-    return folded
-
-
-def _conv_bn_pairs(module: nn.Module) -> List[Tuple[nn.Module, str, str]]:
-    """Adjacent (Conv2d, BatchNorm2d) children of ``module``."""
-    names = list(module._modules.items())
-    pairs = []
-    for (name_a, child_a), (name_b, child_b) in zip(names, names[1:]):
-        if isinstance(child_a, nn.Conv2d) and isinstance(child_b, nn.BatchNorm2d):
-            pairs.append((module, name_a, name_b))
-    return pairs
-
-
-def _fold_pair(conv: nn.Conv2d, bn: nn.BatchNorm2d) -> None:
-    scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
-    conv.weight.data = conv.weight.data * scale.reshape(-1, 1, 1, 1)
-    bias = conv.bias.data if conv.bias is not None else np.zeros(conv.out_channels)
-    new_bias = (bias - bn.running_mean) * scale + bn.bias.data
-    if conv.bias is None:
-        conv.bias = nn.Parameter(new_bias)
-        conv.bias.requires_grad = conv.weight.requires_grad
-    else:
-        conv.bias.data = new_bias
-
-
-# ----------------------------------------------------------------------
-# Deployment
-# ----------------------------------------------------------------------
-@dataclass
-class DeployedLayerInfo:
-    """Placement record of one weight layer."""
-
-    name: str
-    kind: str  # "conv" | "linear" | "rebranch"
-    memory: str  # "rom" | "sram" | "rom+sram"
-    weight_bits: int
-
-
-@dataclass
-class DeploymentReport:
-    """Aggregate outcome of one deployment."""
-
-    layers: List[DeployedLayerInfo] = field(default_factory=list)
-    rom_weight_bits: int = 0
-    sram_weight_bits: int = 0
-
-    @property
-    def rom_fraction(self) -> float:
-        total = self.rom_weight_bits + self.sram_weight_bits
-        return self.rom_weight_bits / total if total else 0.0
+__all__ = [
+    "CimDeployedModel",
+    "DeployedLayerInfo",
+    "DeploymentReport",
+    "deploy_model",
+    "fold_batchnorm",
+]
 
 
 class CimDeployedModel:
@@ -121,6 +64,11 @@ class CimDeployedModel:
     activations, pooling, Flatten, Identity, Sequential nesting, and
     ReBranchConv2d.  Residual additions inside BasicBlock are not
     supported — deploy VGG/DarkNet-style chains or individual blocks.
+
+    Construction compiles the model through :func:`repro.runtime.compile`
+    — macros are programmed once and shared via the engine cache; the
+    per-call behaviour (including in-place weight updates between
+    forwards) is preserved by re-fingerprinting the weights each call.
     """
 
     def __init__(
@@ -131,7 +79,10 @@ class CimDeployedModel:
         activation_bits: int = 8,
         rng: Optional[np.random.Generator] = None,
         encoding: Optional[ActivationEncoding] = None,
+        cache=None,
     ):
+        from repro.runtime.compiled import RuntimeConfig, compile_model
+
         self.encoding = encoding
         self.rom_config = (
             rom_config if rom_config is not None else MacroConfig(cell=ROM_1T)
@@ -144,167 +95,41 @@ class CimDeployedModel:
         self.activation_bits = activation_bits
         self._rng = rng if rng is not None else np.random.default_rng()
         self.model = model
-        self.report = DeploymentReport()
+        self._compiled = compile_model(
+            model,
+            RuntimeConfig(
+                rom_config=self.rom_config,
+                sram_config=self.sram_config,
+                activation_bits=activation_bits,
+                encoding=encoding,
+            ),
+            rng=self._rng,
+            cache=cache,
+        )
+        self.report = self._compiled.report
         self.last_stats = MacroStats()
-        self._validate(model)
-        self._register(model)
 
-    # -- construction ---------------------------------------------------
-    def _validate(self, model: nn.Module) -> None:
-        for name, module in model.named_modules():
-            if isinstance(module, nn.BatchNorm2d):
-                raise ValueError(
-                    f"unfolded BatchNorm2d at {name!r}: run fold_batchnorm() "
-                    "before deploying (ROM weights cannot carry live BN)"
-                )
-
-    def _register(self, model: nn.Module) -> None:
-        for name, module in model.named_modules():
-            if isinstance(module, ReBranchConv2d):
-                bits = (
-                    module.trunk.weight.size
-                    + module.compress.weight.size
-                    + module.decompress.weight.size
-                ) * self.rom_config.weight_bits
-                sram_bits = module.res_conv.weight.size * self.sram_config.weight_bits
-                self.report.rom_weight_bits += bits
-                self.report.sram_weight_bits += sram_bits
-                self.report.layers.append(
-                    DeployedLayerInfo(name, "rebranch", "rom+sram", bits + sram_bits)
-                )
-            elif isinstance(module, nn.Conv2d) or isinstance(module, nn.Linear):
-                if self._inside_rebranch(model, name):
-                    continue
-                kind = "conv" if isinstance(module, nn.Conv2d) else "linear"
-                trainable = module.weight.requires_grad
-                config = self.sram_config if trainable else self.rom_config
-                bits = module.weight.size * config.weight_bits
-                if trainable:
-                    self.report.sram_weight_bits += bits
-                else:
-                    self.report.rom_weight_bits += bits
-                self.report.layers.append(
-                    DeployedLayerInfo(name, kind, "sram" if trainable else "rom", bits)
-                )
-
-    @staticmethod
-    def _inside_rebranch(model: nn.Module, name: str) -> bool:
-        parts = name.split(".")
-        node = model
-        for part in parts[:-1]:
-            node = node._modules[part]
-            if isinstance(node, ReBranchConv2d):
-                return True
-        return False
+    @property
+    def compiled(self):
+        """The underlying :class:`~repro.runtime.CompiledModel`."""
+        return self._compiled
 
     # -- execution --------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run a batch through the CiM-simulated model.
 
         Returns the output array; per-inference macro stats accumulate
-        in :attr:`last_stats`.
+        in :attr:`last_stats`.  Each call re-fingerprints the weights
+        (an O(weight bytes) hash) to preserve the seed's live in-place
+        update semantics; serving paths that never mutate weights
+        should call :attr:`compiled` ``.run()`` directly and skip it.
         """
-        self.last_stats = MacroStats()
-        out = self._run(self.model, np.asarray(x, dtype=np.float64))
+        self._compiled.ensure_fresh()
+        out, stats = self._compiled.run(x)
+        self.last_stats = stats
         return out
 
     __call__ = forward
-
-    def _encoding_for(self, x: np.ndarray) -> Optional[ActivationEncoding]:
-        """The configured encoding, unless this layer's input is signed."""
-        if self.encoding is None or (x < 0).any():
-            return None
-        return self.encoding
-
-    def _mvm_conv(
-        self, x: np.ndarray, conv: nn.Conv2d, config: MacroConfig
-    ) -> np.ndarray:
-        sh, sw = conv.stride
-        ph, pw = conv.padding
-        if sh != sw or ph != pw:
-            raise ValueError("deployment supports square stride/padding only")
-        out, stats = cim_conv2d(
-            x,
-            conv.weight.data,
-            stride=sh,
-            padding=ph,
-            config=config,
-            activation_bits=self.activation_bits,
-            rng=self._rng,
-            encoding=self._encoding_for(x),
-        )
-        self.last_stats = self.last_stats + stats
-        if conv.bias is not None:
-            out = out + conv.bias.data.reshape(1, -1, 1, 1)
-        return out
-
-    def _run(self, module: nn.Module, x: np.ndarray) -> np.ndarray:
-        if isinstance(module, nn.Sequential):
-            for child in module._modules.values():
-                x = self._run(child, x)
-            return x
-        if isinstance(module, ReBranchConv2d):
-            trunk = self._mvm_conv(x, module.trunk, self.rom_config)
-            branch = self._mvm_conv(x, module.compress, self.rom_config)
-            branch = self._mvm_conv(branch, module.res_conv, self.sram_config)
-            branch = self._mvm_conv(branch, module.decompress, self.rom_config)
-            return trunk + branch
-        if isinstance(module, nn.Conv2d):
-            config = (
-                self.sram_config if module.weight.requires_grad else self.rom_config
-            )
-            return self._mvm_conv(x, module, config)
-        if isinstance(module, nn.Linear):
-            config = (
-                self.sram_config if module.weight.requires_grad else self.rom_config
-            )
-            out, stats = cim_linear(
-                x,
-                module.weight.data,
-                config=config,
-                activation_bits=self.activation_bits,
-                rng=self._rng,
-                encoding=self._encoding_for(x),
-            )
-            self.last_stats = self.last_stats + stats
-            if module.bias is not None:
-                out = out + module.bias.data
-            return out
-        if isinstance(module, (nn.ReLU,)):
-            return np.maximum(x, 0.0)
-        if isinstance(module, nn.LeakyReLU):
-            return np.where(x > 0, x, module.negative_slope * x)
-        if isinstance(module, nn.Sigmoid):
-            return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
-        if isinstance(module, nn.Tanh):
-            return np.tanh(x)
-        if isinstance(module, (nn.Identity, nn.Dropout)):
-            return x
-        if isinstance(module, nn.MaxPool2d):
-            return self._pool(x, module.kernel_size, module.stride, "max")
-        if isinstance(module, nn.AvgPool2d):
-            return self._pool(x, module.kernel_size, module.stride, "avg")
-        if isinstance(module, nn.GlobalAvgPool2d):
-            return x.mean(axis=(2, 3), keepdims=True)
-        if isinstance(module, nn.Flatten):
-            return x.reshape(x.shape[0], -1)
-        # Generic composite (e.g. ConvBNAct after folding): chain children.
-        if module._modules:
-            for child in module._modules.values():
-                x = self._run(child, x)
-            return x
-        raise TypeError(f"cannot deploy module of type {type(module).__name__}")
-
-    @staticmethod
-    def _pool(x: np.ndarray, kernel, stride, mode: str) -> np.ndarray:
-        k = kernel if isinstance(kernel, int) else kernel[0]
-        s = k if stride is None else (stride if isinstance(stride, int) else stride[0])
-        if s != k:
-            raise ValueError("deployment supports stride == kernel pooling only")
-        n, c, h, w = x.shape
-        oh, ow = h // k, w // k
-        view = x[:, :, : oh * k, : ow * k].reshape(n, c, oh, k, ow, k)
-        return view.max(axis=(3, 5)) if mode == "max" else view.mean(axis=(3, 5))
 
 
 def deploy_model(

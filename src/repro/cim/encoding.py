@@ -79,8 +79,17 @@ class ActivationEncoding:
     #: Short identifier used in experiment tables.
     name: str = "base"
 
-    def matmul(self, macro: CimMacro, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
-        """Compute ``macro.weights.T @ x`` under this encoding."""
+    def matmul(
+        self,
+        macro: CimMacro,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Compute ``macro.weights.T @ x`` under this encoding.
+
+        ``rng`` optionally overrides the macro's construction-time
+        generator for this call's noise/jitter draws.
+        """
         raise NotImplementedError
 
     def wl_cycles(self, input_bits: int) -> int:
@@ -102,8 +111,13 @@ class BitSerialEncoding(ActivationEncoding):
 
     name = "bit-serial"
 
-    def matmul(self, macro: CimMacro, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
-        return macro.matmul(x)
+    def matmul(
+        self,
+        macro: CimMacro,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        return macro.matmul(x, rng=rng)
 
     def wl_cycles(self, input_bits: int) -> int:
         return input_bits
@@ -124,7 +138,12 @@ class UnaryPulseEncoding(ActivationEncoding):
     def conversions_per_column(self, input_bits: int) -> int:
         return 1
 
-    def matmul(self, macro: CimMacro, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
+    def matmul(
+        self,
+        macro: CimMacro,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
         return _integrating_matmul(
             macro,
             x,
@@ -133,6 +152,7 @@ class UnaryPulseEncoding(ActivationEncoding):
             noise_growth=float(np.sqrt(self.wl_cycles(macro.config.input_bits))),
             drive_jitter_slots=0.0,
             encoding_name=self.name,
+            rng=rng,
         )
 
 
@@ -160,7 +180,12 @@ class PulseWidthEncoding(ActivationEncoding):
     def conversions_per_column(self, input_bits: int) -> int:
         return 1
 
-    def matmul(self, macro: CimMacro, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
+    def matmul(
+        self,
+        macro: CimMacro,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
         return _integrating_matmul(
             macro,
             x,
@@ -168,6 +193,7 @@ class PulseWidthEncoding(ActivationEncoding):
             noise_growth=1.0,
             drive_jitter_slots=self.jitter_sigma_slots,
             encoding_name=self.name,
+            rng=rng,
         )
 
 
@@ -178,6 +204,7 @@ def _integrating_matmul(
     noise_growth: float,
     drive_jitter_slots: float,
     encoding_name: str,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[np.ndarray, MacroStats]:
     """Shared analog path for the charge-integrating encodings.
 
@@ -197,7 +224,7 @@ def _integrating_matmul(
             f"{macro.rows_used}"
         )
     slots = 2**cfg.input_bits - 1
-    rng = macro._rng
+    rng = rng if rng is not None else macro._rng
 
     drive = x.astype(np.float64)
     if drive_jitter_slots > 0:

@@ -118,6 +118,38 @@ class MacroStats:
         )
 
 
+def macro_pass_stats(
+    config: MacroConfig,
+    rows_used: int,
+    cols_used: int,
+    n_vectors: int,
+    row_activations: int,
+    counts_total: float,
+) -> MacroStats:
+    """Cycle/energy accounting of one bit-serial macro pass.
+
+    The single source of the accounting formulas: both the reference
+    :meth:`CimMacro.matmul` and the runtime's fast kernels build their
+    stats through this function, so the two paths cannot drift apart.
+    ``counts_total`` is the total ON-cell count over the pass.
+    """
+    phys_cols = cols_used * config.weight_bits
+    rounds_per_bit = -(-phys_cols // config.n_adcs)
+    cycles = config.input_bits * rounds_per_bit * n_vectors
+    conversions = config.input_bits * phys_cols * n_vectors
+    return MacroStats(
+        cycles=cycles,
+        adc_conversions=conversions,
+        row_activations=row_activations,
+        macs=rows_used * cols_used * n_vectors,
+        wl_energy_fj=row_activations * config.wl_energy_fj,
+        bitline_energy_fj=float(counts_total) * config.cell.read_energy_fj,
+        adc_energy_fj=conversions * config.adc.energy_fj,
+        peripheral_energy_fj=cycles * config.peripheral_energy_fj_per_cycle,
+        latency_ns=cycles * config.cycle_time_ns,
+    )
+
+
 def _bit_planes(codes: np.ndarray, bits: int, signed: bool) -> Tuple[np.ndarray, np.ndarray]:
     """Decompose integer codes into bit planes and their signed weights.
 
@@ -195,13 +227,19 @@ class CimMacro:
         self._store(weights)
 
     # ------------------------------------------------------------------
-    def matmul(self, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
+    def matmul(
+        self, x: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, MacroStats]:
         """Compute ``weights.T @ x`` through the analog path.
 
         ``x`` is an integer matrix of shape (rows_used, n_vectors) (or a
         vector of shape (rows_used,)); the return value has shape
-        (cols_used, n_vectors) (or (cols_used,)).
+        (cols_used, n_vectors) (or (cols_used,)).  ``rng`` optionally
+        overrides the construction-time generator for this call's noise
+        draws — the hook the compile-once runtime uses to attach a
+        session RNG to engines programmed long before execution.
         """
+        rng = rng if rng is not None else self._rng
         x = np.asarray(x)
         squeeze = x.ndim == 1
         if squeeze:
@@ -227,7 +265,7 @@ class CimMacro:
         counts = np.einsum(
             "jrn,krc->jkcn", in_planes, self._weight_planes, optimize=True
         )
-        observed = self.config.bitline.observe(counts, self._rng)
+        observed = self.config.bitline.observe(counts, rng)
         quantized = self.config.adc.quantize_counts(observed, float(self.rows_used))
         result = np.einsum(
             "j,k,jkcn->cn", in_weights, self._plane_weights, quantized, optimize=True
@@ -239,23 +277,13 @@ class CimMacro:
     def _stats_for(
         self, x: np.ndarray, in_planes: np.ndarray, counts: np.ndarray
     ) -> MacroStats:
-        n_vectors = x.shape[1]
-        phys_cols = self.cols_used * self.config.weight_bits
-        rounds_per_bit = -(-phys_cols // self.config.n_adcs)
-        cycles = self.config.input_bits * rounds_per_bit * n_vectors
-        conversions = self.config.input_bits * phys_cols * n_vectors
-        row_activations = int(in_planes.sum())
-        cell_e = self.config.cell.read_energy_fj
-        return MacroStats(
-            cycles=cycles,
-            adc_conversions=conversions,
-            row_activations=row_activations,
-            macs=self.rows_used * self.cols_used * n_vectors,
-            wl_energy_fj=row_activations * self.config.wl_energy_fj,
-            bitline_energy_fj=float(counts.sum()) * cell_e,
-            adc_energy_fj=conversions * self.config.adc.energy_fj,
-            peripheral_energy_fj=cycles * self.config.peripheral_energy_fj_per_cycle,
-            latency_ns=cycles * self.config.cycle_time_ns,
+        return macro_pass_stats(
+            self.config,
+            self.rows_used,
+            self.cols_used,
+            n_vectors=x.shape[1],
+            row_activations=int(in_planes.sum()),
+            counts_total=float(counts.sum()),
         )
 
     def exact_matmul(self, x: np.ndarray) -> np.ndarray:

@@ -80,13 +80,19 @@ class CimTiledMatmul:
         return -(-self.shape[0] // self.config.rows)
 
     def matmul(
-        self, x: np.ndarray, encoding: Optional["ActivationEncoding"] = None
+        self,
+        x: np.ndarray,
+        encoding: Optional["ActivationEncoding"] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> Tuple[np.ndarray, MacroStats]:
         """Compute ``weights.T @ x`` (x: (R,) or (R, N)) through all tiles.
 
         ``encoding`` selects the word-line activation scheme (section
         3.1); the default is the bit-serial stream of Table I.  The
-        pulse encodings require unsigned activations.
+        pulse encodings require unsigned activations.  ``rng``
+        optionally overrides each tile's construction-time generator
+        for this call's noise draws (used by the compile-once runtime
+        to attach a session RNG to long-lived programmed engines).
         """
         x = np.asarray(x)
         squeeze = x.ndim == 1
@@ -102,9 +108,9 @@ class CimTiledMatmul:
         for tile in self.tiles:
             x_slice = x[tile.row_start : tile.row_stop]
             if encoding is None:
-                partial, stats = tile.macro.matmul(x_slice)
+                partial, stats = tile.macro.matmul(x_slice, rng=rng)
             else:
-                partial, stats = encoding.matmul(tile.macro, x_slice)
+                partial, stats = encoding.matmul(tile.macro, x_slice, rng=rng)
             out[tile.col_start : tile.col_stop] += partial
             max_tile_latency = max(max_tile_latency, stats.latency_ns)
             total = total + stats
@@ -124,7 +130,7 @@ class CimTiledMatmul:
         return out
 
 
-def cim_linear(
+def reference_cim_linear(
     x: np.ndarray,
     weight: np.ndarray,
     config: Optional[MacroConfig] = None,
@@ -132,14 +138,11 @@ def cim_linear(
     rng: Optional[np.random.Generator] = None,
     encoding: Optional[ActivationEncoding] = None,
 ) -> Tuple[np.ndarray, MacroStats]:
-    """Run ``x @ weight.T`` (float) through quantized CiM execution.
+    """The seed per-call linear path: re-quantize and rebuild every call.
 
-    ``x`` is (N, in_features) float, ``weight`` (out, in) float.  Both are
-    symmetrically quantized (activations unsigned if non-negative), the
-    product is computed by the tiled macro model, and the result is
-    rescaled to float.  Returns ``(y, stats)``.  ``encoding`` selects
-    the word-line scheme (post-ReLU layers are unsigned, so the pulse
-    encodings apply directly).
+    Kept verbatim as the bit-exact oracle for :func:`cim_linear` (which
+    now routes through the compile-once runtime) and as the baseline
+    the runtime benchmarks measure against.
     """
     config = config if config is not None else MacroConfig()
     x = np.asarray(x, dtype=np.float64)
@@ -171,7 +174,7 @@ def cim_linear(
     return (y_codes * scale).T, stats
 
 
-def cim_conv2d(
+def reference_cim_conv2d(
     x: np.ndarray,
     weight: np.ndarray,
     stride: int = 1,
@@ -181,11 +184,7 @@ def cim_conv2d(
     rng: Optional[np.random.Generator] = None,
     encoding: Optional[ActivationEncoding] = None,
 ) -> Tuple[np.ndarray, MacroStats]:
-    """Convolution through CiM: im2col + :func:`cim_linear` semantics.
-
-    ``x``: (N, C, H, W) float; ``weight``: (O, C, kh, kw) float.
-    Returns the float output (N, O, H', W') and aggregated macro stats.
-    """
+    """The seed per-call convolution path (see :func:`reference_cim_linear`)."""
     x = np.asarray(x, dtype=np.float64)
     weight = np.asarray(weight, dtype=np.float64)
     n = x.shape[0]
@@ -194,8 +193,90 @@ def cim_conv2d(
         x, (kh, kw), (stride, stride), (padding, padding)
     )  # (N, C*kh*kw, P)
     patches = cols.transpose(0, 2, 1).reshape(-1, ic * kh * kw)  # (N*P, K)
-    flat, stats = cim_linear(
+    flat, stats = reference_cim_linear(
         patches, weight.reshape(oc, -1), config, activation_bits, rng, encoding
     )
     out = flat.reshape(n, out_h * out_w, oc).transpose(0, 2, 1)
     return out.reshape(n, oc, out_h, out_w), stats
+
+
+def cim_linear(
+    x: np.ndarray,
+    weight: np.ndarray,
+    config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    encoding: Optional[ActivationEncoding] = None,
+    cache=None,
+) -> Tuple[np.ndarray, MacroStats]:
+    """Run ``x @ weight.T`` (float) through quantized CiM execution.
+
+    ``x`` is (N, in_features) float, ``weight`` (out, in) float.  Both are
+    symmetrically quantized (activations unsigned if non-negative), the
+    product is computed by the tiled macro model, and the result is
+    rescaled to float.  Returns ``(y, stats)``.  ``encoding`` selects
+    the word-line scheme (post-ReLU layers are unsigned, so the pulse
+    encodings apply directly).
+
+    This is a compile-and-run shim over the deployment runtime: the
+    weights are quantized and programmed into tiled engines once per
+    distinct ``(weights, config)`` and shared through the engine cache
+    (``cache``; defaults to the process-wide one), so repeated calls
+    only pay activation quantization and macro arithmetic.  Results are
+    bitwise identical to :func:`reference_cim_linear` at the same RNG.
+    """
+    from repro.runtime.engine import linear_engine  # lazy: avoids import cycle
+
+    config = config if config is not None else MacroConfig()
+    x = np.asarray(x, dtype=np.float64)
+    signed_inputs = bool((x < 0).any())
+    engine = linear_engine(
+        weight,
+        config=config,
+        activation_bits=activation_bits,
+        signed_inputs=signed_inputs,
+        cache=cache,
+    )
+    return engine.execute(x, rng=rng, encoding=encoding)
+
+
+def cim_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    encoding: Optional[ActivationEncoding] = None,
+    cache=None,
+) -> Tuple[np.ndarray, MacroStats]:
+    """Convolution through CiM: im2col + :func:`cim_linear` semantics.
+
+    ``x``: (N, C, H, W) float; ``weight``: (O, C, kh, kw) float.
+    Returns the float output (N, O, H', W') and aggregated macro stats.
+    Like :func:`cim_linear`, a compile-and-run shim over the runtime's
+    cached engines; bitwise identical to :func:`reference_cim_conv2d`.
+    """
+    from repro.runtime.engine import conv_engine, conv_patches  # lazy import
+
+    config = config if config is not None else MacroConfig()
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    # Signedness is a property of the im2col patches (what actually gets
+    # quantized), not of the raw input: a stride larger than the kernel
+    # can skip every negative pixel.
+    patches, out_hw = conv_patches(x, weight.shape, stride, padding)
+    signed_inputs = bool((patches < 0).any())
+    engine = conv_engine(
+        weight,
+        stride=stride,
+        padding=padding,
+        config=config,
+        activation_bits=activation_bits,
+        signed_inputs=signed_inputs,
+        cache=cache,
+    )
+    return engine.execute_patches(
+        patches, x.shape[0], out_hw, rng=rng, encoding=encoding
+    )

@@ -17,6 +17,8 @@ Commands
 ``variation``   static device-variation Monte-Carlo (section 2).
 ``dusearch``    automated minimum-area D/U selection (section 3.2).
 ``subbit``      sub-8-bit quantization on VGG vs MobileNet (section 2.3).
+``runtime``     compile-once runtime amortization study (serving vs
+                streaming, compiled vs seed per-call path).
 """
 
 from __future__ import annotations
@@ -349,6 +351,33 @@ def _cmd_subbit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.experiments import runtime_study
+
+    config = runtime_study.full_config() if args.full else runtime_study.fast_config()
+    result = runtime_study.run(config)
+    print(
+        f"compile: {result.compile_ms:.1f} ms "
+        f"({result.engines_programmed} engines programmed once; "
+        f"{result.cache_hits} cache hits / {result.cache_misses} misses)"
+    )
+    print(
+        format_table(
+            result.rows(),
+            [
+                "regime",
+                "calls",
+                "samples",
+                "compiled_ms",
+                "reference_ms",
+                "speedup",
+                "bitwise",
+            ],
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="YOLoC (DAC'22) reproduction toolkit"
@@ -391,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("pingpong", _cmd_pingpong),
         ("dusearch", _cmd_dusearch),
         ("subbit", _cmd_subbit),
+        ("runtime", _cmd_runtime),
     ]:
         cmd = sub.add_parser(name, help=f"run the {name} experiment")
         cmd.add_argument("--full", action="store_true", help="full budget")

@@ -44,6 +44,7 @@ from repro.experiments import (
     options_study,
     pipeline_study,
     related_work_quant,
+    runtime_study,
     table1,
 )
 from repro.experiments.common import (
@@ -65,6 +66,7 @@ __all__ = [
     "options_study",
     "pipeline_study",
     "related_work_quant",
+    "runtime_study",
     "table1",
     "PretrainedBundle",
     "pretrain_classifier",

@@ -1,11 +1,16 @@
 """End-to-end network accuracy through the functional CiM path.
 
 The integration experiment behind the paper's "almost no accuracy
-loss" framing: a classifier trained in float is deployed on the
-functional macro simulation (:class:`~repro.cim.deploy.CimDeployedModel`)
-and evaluated across the circuit knobs the other studies sweep in
+loss" framing: a classifier trained in float is compiled onto the
+functional macro simulation (:func:`repro.runtime.compile`) and
+evaluated across the circuit knobs the other studies sweep in
 isolation — ADC resolution, word-line encoding, and bit-line noise —
 so their MVM-level error numbers get an accuracy column.
+
+The model is programmed once per circuit corner; the word-line
+encoding is an execution-time option of :meth:`CompiledModel.run`, so
+the encoding sweep reuses each corner's programmed engines instead of
+redeploying the network per encoding.
 """
 
 from __future__ import annotations
@@ -19,13 +24,13 @@ from repro import nn
 from repro.cim import (
     AdcSpec,
     BitlineModel,
-    CimDeployedModel,
     MacroConfig,
     encoding_by_name,
 )
 from repro.datasets import classification_suite
 from repro.eval.classification import accuracy
 from repro.rebranch import TrainConfig, TransferTrainer
+from repro.runtime import EngineCache, RuntimeConfig, compile_model
 
 
 @dataclass
@@ -133,6 +138,9 @@ def run(config: Optional[CimAccuracyConfig] = None) -> CimAccuracyResult:
     result = CimAccuracyResult(
         float_accuracy=accuracy(_float_logits(model, x_eval), y_eval)
     )
+    # Scoped cache: per-corner engines are never reused after the sweep,
+    # so do not pin them in the process-wide cache.
+    cache = EngineCache()
 
     for adc_bits in config.adc_bits_list:
         for noise_sigma in config.noise_sigmas:
@@ -140,19 +148,24 @@ def run(config: Optional[CimAccuracyConfig] = None) -> CimAccuracyResult:
                 adc=AdcSpec(bits=adc_bits),
                 bitline=BitlineModel(noise_sigma_counts=noise_sigma),
             )
+            # Program the macros once per circuit corner; every encoding
+            # below streams through the same compiled engines.
+            compiled = compile_model(
+                model,
+                RuntimeConfig(
+                    rom_config=macro_config, sram_config=macro_config
+                ),
+                cache=cache,
+            )
             for name in config.encodings:
                 encoding = (
                     None if name == "bit-serial" else encoding_by_name(name)
                 )
-                deployed = CimDeployedModel(
-                    model,
-                    rom_config=macro_config,
-                    sram_config=macro_config,
-                    rng=np.random.default_rng(config.seed + 1),
+                logits, stats = compiled.run(
+                    x_eval,
                     encoding=encoding,
+                    rng=np.random.default_rng(config.seed + 1),
                 )
-                logits = deployed(x_eval)
-                stats = deployed.last_stats
                 result.points.append(
                     CimAccuracyPoint(
                         adc_bits=adc_bits,

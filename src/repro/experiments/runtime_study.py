@@ -1,0 +1,170 @@
+"""Compile-once runtime amortization study.
+
+The deployment question behind the runtime refactor: how much wall
+clock does programming-once actually buy over the seed's per-call path,
+which re-quantized the weights and rebuilt every subarray tile on each
+inference?  This study measures the two serving regimes of interest —
+
+* **serving** — requests arrive one sample at a time (the heavy-traffic
+  deployment regime the ROADMAP targets); the seed path pays the full
+  programming cost on every request.
+* **streaming** — one large batch per call; programming cost amortizes
+  over the batch, so the remaining gap is the runtime's optimized
+  execution kernels.
+
+Both regimes run the compiled path and the seed reference path on the
+same requests and verify the outputs are bitwise identical — the
+runtime is a pure restructuring, not an approximation.  Timings take
+the minimum over ``repeats`` (the standard low-noise estimator).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.runtime import (
+    EngineCache,
+    RuntimeConfig,
+    compile_model,
+    reference_forward,
+)
+
+
+@dataclass
+class RuntimeStudyConfig:
+    in_features: int = 1024
+    layer_widths: Sequence[int] = (512, 256)
+    num_classes: int = 10
+    n_requests: int = 32
+    repeats: int = 3
+    seed: int = 0
+
+
+def fast_config() -> RuntimeStudyConfig:
+    return RuntimeStudyConfig(
+        in_features=256, layer_widths=(128,), n_requests=8, repeats=2
+    )
+
+
+def full_config() -> RuntimeStudyConfig:
+    return RuntimeStudyConfig()
+
+
+@dataclass
+class RegimeResult:
+    regime: str  # "serving" | "streaming"
+    n_calls: int
+    n_samples: int
+    compiled_ms: float
+    reference_ms: float
+    bitwise_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_ms / self.compiled_ms if self.compiled_ms else 0.0
+
+
+@dataclass
+class RuntimeStudyResult:
+    compile_ms: float = 0.0
+    engines_programmed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    regimes: List[RegimeResult] = field(default_factory=list)
+
+    def regime(self, name: str) -> RegimeResult:
+        for entry in self.regimes:
+            if entry.regime == name:
+                return entry
+        raise KeyError(f"no regime {name!r}")
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (
+                r.regime,
+                r.n_calls,
+                r.n_samples,
+                round(r.compiled_ms, 1),
+                round(r.reference_ms, 1),
+                round(r.speedup, 2),
+                r.bitwise_identical,
+            )
+            for r in self.regimes
+        ]
+
+
+def _build_model(config: RuntimeStudyConfig) -> nn.Module:
+    rng = np.random.default_rng(config.seed)
+    layers: List[nn.Module] = []
+    width = config.in_features
+    for next_width in config.layer_widths:
+        layers += [nn.Linear(width, next_width, rng=rng), nn.ReLU()]
+        width = next_width
+    layers.append(nn.Linear(width, config.num_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def _time_calls(fn, calls, repeats: int) -> Tuple[float, list]:
+    """Minimum wall-clock over ``repeats`` passes; outputs of the last."""
+    best = float("inf")
+    outputs = []
+    for _ in range(repeats):
+        outputs = []
+        start = time.perf_counter()
+        for x in calls:
+            outputs.append(fn(x))
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, outputs
+
+
+def run(config: RuntimeStudyConfig = None) -> RuntimeStudyResult:
+    """Measure compiled vs seed per-call inference on both regimes."""
+    config = config if config is not None else fast_config()
+    model = _build_model(config)
+    requests = np.random.default_rng(config.seed + 1).normal(
+        size=(config.n_requests, config.in_features)
+    )
+
+    cache = EngineCache()
+    start = time.perf_counter()
+    compiled = compile_model(model, RuntimeConfig(), cache=cache)
+    compile_ms = (time.perf_counter() - start) * 1000.0
+    result = RuntimeStudyResult(
+        compile_ms=compile_ms,
+        engines_programmed=cache.stats.programmed,
+    )
+
+    def compiled_call(x):
+        return compiled.run(x)[0]
+
+    def reference_call(x):
+        return reference_forward(model, x)[0]
+
+    serving = [requests[i : i + 1] for i in range(config.n_requests)]
+    for regime, calls in (("serving", serving), ("streaming", [requests])):
+        for x in calls:  # warm both paths (page cache, einsum paths)
+            compiled.run(x)
+        reference_forward(model, calls[0])
+        compiled_ms, outs_c = _time_calls(compiled_call, calls, config.repeats)
+        reference_ms, outs_r = _time_calls(reference_call, calls, config.repeats)
+        bitwise = all(
+            np.array_equal(a, b) for a, b in zip(outs_c, outs_r)
+        )
+        result.regimes.append(
+            RegimeResult(
+                regime=regime,
+                n_calls=len(calls),
+                n_samples=sum(x.shape[0] for x in calls),
+                compiled_ms=compiled_ms,
+                reference_ms=reference_ms,
+                bitwise_identical=bitwise,
+            )
+        )
+    result.cache_hits = cache.stats.hits
+    result.cache_misses = cache.stats.misses
+    return result

@@ -244,12 +244,24 @@ def _profile_module(
     raise TypeError(f"cannot profile module of type {type(module).__name__}")
 
 
-def profile_model(model: nn.Module, input_shape: Shape) -> ModelProfile:
+def profile_model(model, input_shape: Shape) -> ModelProfile:
     """Profile ``model`` for an input of shape ``(N, C, H, W)`` or ``(N, F)``.
 
-    Returns a :class:`ModelProfile` with one entry per parameterized or
+    Accepts either an :class:`~repro.nn.Module` or a compiled runtime
+    model (:class:`~repro.runtime.CompiledModel`), which is profiled
+    through its underlying (folded) module tree.  Returns a
+    :class:`ModelProfile` with one entry per parameterized or
     shape-changing layer, in execution order.
     """
+    if not isinstance(model, nn.Module):
+        source = getattr(model, "model", None)
+        if isinstance(source, nn.Module):
+            model = source
+        else:
+            raise TypeError(
+                f"cannot profile {type(model).__name__}: expected an "
+                "nn.Module or a CompiledModel"
+            )
     if len(input_shape) not in (2, 4):
         raise ValueError(f"expected (N, F) or (N, C, H, W), got {input_shape}")
     profiler = Profiler()

@@ -1,0 +1,84 @@
+"""Compile-once / execute-many deployment runtime.
+
+The YOLoC chiplet is ROM-based: weights are programmed into subarrays
+exactly once at fabrication and every later inference streams
+activations through the same macros.  This package is that split in
+software:
+
+* :func:`compile` — **programming**: fold BN, place ROM/SRAM, quantize
+  weights, build tiled engines; once per model.
+* :meth:`CompiledModel.run` — **execution**: batched activation
+  streaming through the cached engines with per-run / per-session
+  :class:`~repro.cim.macro.MacroStats` accounting.
+* :class:`EngineCache` — LRU cache keyed by ``(layer id, weight hash,
+  config)`` so repeated and concurrent workloads share programmed
+  macros; ``capacity=0`` reproduces the seed per-call behaviour.
+* :func:`reference_forward` — the seed per-call path kept as a bit-exact
+  oracle and benchmark baseline.
+
+The consuming layers sit on top: ``repro.cim.deploy`` wraps
+:class:`CompiledModel`, the functional ``repro.cim.cim_linear`` /
+``cim_conv2d`` compile-and-run through the shared cache, and
+``repro.arch`` / ``repro.models`` accept compiled models directly.
+"""
+
+from repro.runtime.cache import (
+    CacheStats,
+    EngineCache,
+    EngineKey,
+    get_default_cache,
+    macro_config_key,
+    resolve_cache,
+    set_default_cache,
+    weight_fingerprint,
+)
+from repro.runtime.kernels import MacroBitSerialKernel, TiledBitSerialKernel
+from repro.runtime.engine import (
+    ProgrammedConv,
+    ProgrammedLinear,
+    conv_engine,
+    linear_engine,
+)
+from repro.runtime.programming import (
+    DeployedLayerInfo,
+    DeploymentReport,
+    build_report,
+    fold_batchnorm,
+    validate_deployable,
+)
+from repro.runtime.session import ExecutionSession
+from repro.runtime.compiled import (
+    CompiledModel,
+    RuntimeConfig,
+    compile,
+    compile_model,
+)
+from repro.runtime.reference import reference_forward
+
+__all__ = [
+    "CacheStats",
+    "EngineCache",
+    "EngineKey",
+    "get_default_cache",
+    "set_default_cache",
+    "resolve_cache",
+    "macro_config_key",
+    "weight_fingerprint",
+    "MacroBitSerialKernel",
+    "TiledBitSerialKernel",
+    "ProgrammedConv",
+    "ProgrammedLinear",
+    "conv_engine",
+    "linear_engine",
+    "DeployedLayerInfo",
+    "DeploymentReport",
+    "build_report",
+    "fold_batchnorm",
+    "validate_deployable",
+    "ExecutionSession",
+    "CompiledModel",
+    "RuntimeConfig",
+    "compile",
+    "compile_model",
+    "reference_forward",
+]

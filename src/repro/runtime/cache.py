@@ -1,0 +1,208 @@
+"""LRU cache of programmed CiM engines.
+
+A ROM-based chiplet programs its subarrays exactly once — at mask time —
+and every later inference streams activations through the same macros.
+The software analogue is this cache: programming an engine (weight
+quantization + bit-plane decomposition + tile placement) happens once
+per distinct ``(layer id, weight fingerprint, configuration)`` key, and
+repeated or concurrent workloads that deploy the same weights share the
+programmed engines instead of rebuilding them per call.
+
+``EngineCache(capacity=0)`` is the *per-call* mode: nothing is ever
+retained, so every lookup programs a fresh engine — the seed library's
+original behaviour, kept available for baselines and benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cim.macro import MacroConfig
+
+
+@dataclass(frozen=True)
+class EngineKey:
+    """Identity of one programmed engine.
+
+    ``layer_id`` scopes the engine to a layer (or ``"functional"`` for
+    the stateless :func:`repro.cim.cim_linear` path), ``weight_hash``
+    fingerprints the exact float weights, and ``config_key`` captures
+    every macro/quantization parameter that affects programming.
+    """
+
+    layer_id: str
+    weight_hash: str
+    config_key: Tuple
+
+
+@dataclass
+class CacheStats:
+    """Counters of cache activity since construction (or ``reset``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    programmed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.programmed = 0
+
+
+def weight_fingerprint(weight: np.ndarray) -> str:
+    """Content hash of a float weight tensor (value + shape)."""
+    arr = np.ascontiguousarray(np.asarray(weight, dtype=np.float64))
+    digest = hashlib.sha1(arr.tobytes())
+    digest.update(repr(arr.shape).encode())
+    return digest.hexdigest()
+
+
+def _bitline_key(bitline) -> Tuple:
+    if bitline is None:
+        return ()
+    return (
+        bitline.max_rows,
+        bitline.v_precharge,
+        bitline.noise_sigma_counts,
+        bitline.saturation,
+    )
+
+
+def macro_config_key(config: "MacroConfig") -> Tuple:
+    """Hashable identity of every programming-relevant config field."""
+    cell = config.cell
+    return (
+        config.rows,
+        config.phys_columns,
+        config.n_adcs,
+        (config.adc.bits, config.adc.energy_fj, config.adc.conversion_time_ns),
+        # The cell by value, not by name: frozen CellSpecs are commonly
+        # swept via dataclasses.replace, which keeps the name.
+        (
+            cell.name,
+            cell.transistors,
+            cell.area_um2,
+            cell.volatile,
+            cell.computes,
+            cell.read_energy_fj,
+            cell.standby_leakage_pw,
+        ),
+        config.weight_bits,
+        config.input_bits,
+        config.signed_weights,
+        config.signed_inputs,
+        config.cycle_time_ns,
+        config.wl_energy_fj,
+        config.peripheral_energy_fj_per_cycle,
+        _bitline_key(config.bitline),
+    )
+
+
+class EngineCache:
+    """Thread-safe LRU cache of programmed engines.
+
+    ``capacity`` bounds the number of retained engines; the least
+    recently used engine is evicted first.  ``capacity=0`` disables
+    retention entirely (every lookup is a miss that programs a fresh
+    engine), which reproduces the seed library's per-call behaviour.
+
+    The bound is an entry count, not bytes — a programmed engine holds
+    its float64 weight bit planes, integer codes and the fused float32
+    kernel operand (roughly 110 bytes per weight at 8-bit), so
+    workloads that sweep many large distinct weight sets through one
+    cache should size ``capacity`` (or use a dedicated cache)
+    accordingly.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError(f"capacity cannot be negative, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[EngineKey, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: EngineKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: EngineKey) -> Optional[Any]:
+        """The cached engine for ``key``, or None (counts as hit/miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def get_or_program(self, key: EngineKey, factory: Callable[[], Any]) -> Any:
+        """Return the engine for ``key``, programming it on first use."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        # Program outside the lock: construction can be expensive and
+        # must not serialize concurrent sessions compiling other layers.
+        engine = factory()
+        with self._lock:
+            self.stats.programmed += 1
+            if self.capacity > 0:
+                existing = self._entries.get(key)
+                if existing is not None:
+                    # A concurrent session programmed it first; share that one.
+                    self._entries.move_to_end(key)
+                    return existing
+                self._entries[key] = engine
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        return engine
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries.keys())
+
+
+_default_cache = EngineCache()
+
+
+def get_default_cache() -> EngineCache:
+    """The process-wide engine cache shared by default."""
+    return _default_cache
+
+
+def set_default_cache(cache: EngineCache) -> EngineCache:
+    """Replace the process-wide cache; returns the previous one."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def resolve_cache(cache: Optional[EngineCache]) -> EngineCache:
+    """``cache`` if given, else the process-wide default."""
+    return cache if cache is not None else _default_cache

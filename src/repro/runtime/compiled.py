@@ -1,0 +1,558 @@
+"""Compile-once / execute-many deployment runtime.
+
+:func:`compile` separates what the seed library interleaved on every
+forward call:
+
+* **Programming** (once per model): validate the module graph, decide
+  ROM/SRAM placement per layer, quantize weights, and build the tiled
+  macro engines — shared through an LRU
+  :class:`~repro.runtime.cache.EngineCache` keyed by
+  ``(layer id, weight hash, config)`` so repeated and concurrent
+  deployments of the same weights reuse programmed macros.
+* **Execution** (per batch): stream activation batches through the
+  cached engines, accumulating :class:`~repro.cim.macro.MacroStats`
+  per run (and per :class:`~repro.runtime.session.ExecutionSession`)
+  instead of mutating state on the model.
+
+The compiled path is bitwise identical to the seed per-call functional
+path at a fixed RNG seed — pinned by ``tests/test_runtime.py`` against
+:func:`repro.runtime.reference.reference_forward`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.cim.cells import ROM_1T, SRAM_CIM_6T
+from repro.cim.encoding import ActivationEncoding
+from repro.cim.macro import MacroConfig, MacroStats
+from repro.rebranch.branch import ReBranchConv2d
+from repro.runtime.cache import EngineCache, resolve_cache, weight_fingerprint
+from repro.runtime.engine import conv_engine, conv_patches, linear_engine
+from repro.runtime.programming import (
+    DeploymentReport,
+    build_report,
+    fold_batchnorm,
+    validate_deployable,
+)
+from repro.runtime.reference import pool2d as _pool
+from repro.runtime.session import ExecutionSession
+
+#: Sentinel distinguishing "use the compiled default encoding" from an
+#: explicit ``encoding=None`` (force bit-serial) at run time.
+_USE_DEFAULT = object()
+
+
+@dataclass
+class RuntimeConfig:
+    """Programming-time options of :func:`compile`.
+
+    ``assume_signed_input`` is the compile-time prediction for the model
+    input's sign; every layer after an unsigned activation (ReLU,
+    Sigmoid) is predicted unsigned, matching the chip's mixed
+    configuration.  Execution still detects the actual sign per batch
+    and programs the other variant through the cache if a batch defies
+    the prediction, so the prediction affects only what is programmed
+    eagerly.
+    """
+
+    rom_config: Optional[MacroConfig] = None
+    sram_config: Optional[MacroConfig] = None
+    activation_bits: int = 8
+    encoding: Optional[ActivationEncoding] = None
+    fold_bn: bool = False
+    assume_signed_input: bool = True
+
+    def resolved_rom(self) -> MacroConfig:
+        return (
+            self.rom_config
+            if self.rom_config is not None
+            else MacroConfig(cell=ROM_1T)
+        )
+
+    def resolved_sram(self) -> MacroConfig:
+        return (
+            self.sram_config
+            if self.sram_config is not None
+            else MacroConfig(cell=SRAM_CIM_6T)
+        )
+
+
+class _RunState:
+    """Per-run execution context threaded through the plan."""
+
+    __slots__ = ("rng", "encoding", "stats")
+
+    def __init__(self, rng, encoding):
+        self.rng = rng
+        self.encoding = encoding
+        self.stats = MacroStats()
+
+
+class _FuncStep:
+    """A pure (engine-free) operation: activation, pooling, reshape."""
+
+    def __init__(self, name: str, fn: Callable[[np.ndarray], np.ndarray]):
+        self.name = name
+        self.fn = fn
+
+    def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
+        return self.fn(x)
+
+
+class _EngineSlot:
+    """One weight layer's handle into the engine cache.
+
+    Holds a live reference to the layer's weights (``weight_fn``) and
+    macro config (``config_fn`` — the seed path re-decided ROM vs SRAM
+    from ``requires_grad`` on every forward, so freezing a layer after
+    compilation moves it to ROM here too) plus the fingerprint taken at
+    programming time; engines for each input signedness are fetched
+    through the cache on demand, so two compiled models over the same
+    weights share programmed tiles.
+    """
+
+    def __init__(
+        self,
+        layer_id: str,
+        kind: str,  # "conv" | "linear"
+        weight_fn: Callable[[], np.ndarray],
+        config_fn: Callable[[], MacroConfig],
+        activation_bits: int,
+        cache: EngineCache,
+        predicted_signed: bool,
+        stride: int = 0,
+        padding: int = 0,
+    ):
+        self.layer_id = layer_id
+        self.kind = kind
+        self.weight_fn = weight_fn
+        self.config_fn = config_fn
+        self.activation_bits = activation_bits
+        self.cache = cache
+        self.predicted_signed = bool(predicted_signed)
+        self.stride = stride
+        self.padding = padding
+        self.fingerprint = weight_fingerprint(weight_fn())
+        # Strong per-slot references: the LRU cache shares engines across
+        # models, but eviction there must never force this compiled
+        # model to reprogram its own layers on the hot path.
+        self._engines: Dict[Any, Any] = {}
+        # Compile-once: program the predicted variant eagerly.
+        self.engine_for(self.predicted_signed)
+
+    def engine_for(self, signed: bool):
+        signed = bool(signed)
+        config = self.config_fn()
+        key = (signed, id(config))
+        engine = self._engines.get(key)
+        if engine is not None:
+            return engine
+        engine = self._program(signed, config)
+        self._engines[key] = engine
+        return engine
+
+    def _program(self, signed: bool, config: MacroConfig):
+        if self.kind == "conv":
+            return conv_engine(
+                self.weight_fn(),
+                stride=self.stride,
+                padding=self.padding,
+                config=config,
+                activation_bits=self.activation_bits,
+                signed_inputs=signed,
+                layer_id=self.layer_id,
+                cache=self.cache,
+                fingerprint=self.fingerprint,
+            )
+        return linear_engine(
+            self.weight_fn(),
+            config=config,
+            activation_bits=self.activation_bits,
+            signed_inputs=signed,
+            layer_id=self.layer_id,
+            cache=self.cache,
+            fingerprint=self.fingerprint,
+        )
+
+    def refresh(self) -> bool:
+        """Re-fingerprint the live weights; True when they changed."""
+        fingerprint = weight_fingerprint(self.weight_fn())
+        changed = fingerprint != self.fingerprint
+        if changed:
+            self.fingerprint = fingerprint
+            self._engines.clear()  # reprogram (through the cache) on next use
+        return changed
+
+
+class _ConvStep:
+    def __init__(self, slot: _EngineSlot, module: nn.Conv2d):
+        self.slot = slot
+        self.module = module
+        self.name = slot.layer_id
+
+    def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        # Seed semantics: the encoding fallback keys on the raw layer
+        # input, while quantization signedness keys on the im2col
+        # patches (what actually reaches the word lines) — a stride
+        # larger than the kernel can make the two disagree.
+        encoding = None if bool((x < 0).any()) else state.encoding
+        patches, out_hw = conv_patches(
+            x,
+            self.module.weight.data.shape,
+            self.slot.stride,
+            self.slot.padding,
+        )
+        signed = bool((patches < 0).any())
+        engine = self.slot.engine_for(signed)
+        out, stats = engine.execute_patches(
+            patches, x.shape[0], out_hw, rng=state.rng, encoding=encoding
+        )
+        state.stats = state.stats + stats
+        if self.module.bias is not None:
+            out = out + self.module.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+
+class _LinearStep:
+    def __init__(self, slot: _EngineSlot, module: nn.Linear):
+        self.slot = slot
+        self.module = module
+        self.name = slot.layer_id
+
+    def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
+        signed = bool((x < 0).any())
+        engine = self.slot.engine_for(signed)
+        encoding = None if signed else state.encoding
+        out, stats = engine.execute(x, rng=state.rng, encoding=encoding)
+        state.stats = state.stats + stats
+        if self.module.bias is not None:
+            out = out + self.module.bias.data
+        return out
+
+
+class _RebranchStep:
+    """trunk(x) + decompress(res_conv(compress(x))), macros per Fig. 9."""
+
+    def __init__(self, name, trunk, compress, res_conv, decompress):
+        self.name = name
+        self.trunk = trunk
+        self.compress = compress
+        self.res_conv = res_conv
+        self.decompress = decompress
+
+    def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
+        trunk = self.trunk.apply(x, state)
+        branch = self.compress.apply(x, state)
+        branch = self.res_conv.apply(branch, state)
+        branch = self.decompress.apply(branch, state)
+        return trunk + branch
+
+
+class _PlanBuilder:
+    """Walk the module tree once, building steps and engine slots."""
+
+    def __init__(self, config: RuntimeConfig, cache: EngineCache):
+        self.config = config
+        self.rom_config = config.resolved_rom()
+        self.sram_config = config.resolved_sram()
+        self.cache = cache
+        self.slots: List[_EngineSlot] = []
+
+    def _placement_config_fn(self, module) -> Callable[[], MacroConfig]:
+        """Live ROM/SRAM choice: trainable -> SRAM, frozen -> ROM.
+
+        Evaluated at execution time like the seed path, so freezing or
+        unfreezing a layer after compilation moves it between macros.
+        """
+        return lambda: (
+            self.sram_config if module.weight.requires_grad else self.rom_config
+        )
+
+    def _conv_slot(
+        self,
+        name: str,
+        conv: nn.Conv2d,
+        config_fn: Callable[[], MacroConfig],
+        signed: bool,
+    ) -> _EngineSlot:
+        sh, sw = conv.stride
+        ph, pw = conv.padding
+        if sh != sw or ph != pw:
+            raise ValueError("deployment supports square stride/padding only")
+        slot = _EngineSlot(
+            layer_id=name,
+            kind="conv",
+            weight_fn=lambda: conv.weight.data,
+            config_fn=config_fn,
+            activation_bits=self.config.activation_bits,
+            cache=self.cache,
+            predicted_signed=signed,
+            stride=sh,
+            padding=ph,
+        )
+        self.slots.append(slot)
+        return slot
+
+    def _linear_slot(
+        self,
+        name: str,
+        linear: nn.Linear,
+        config_fn: Callable[[], MacroConfig],
+        signed: bool,
+    ) -> _EngineSlot:
+        slot = _EngineSlot(
+            layer_id=name,
+            kind="linear",
+            weight_fn=lambda: linear.weight.data,
+            config_fn=config_fn,
+            activation_bits=self.config.activation_bits,
+            cache=self.cache,
+            predicted_signed=signed,
+        )
+        self.slots.append(slot)
+        return slot
+
+    def build(
+        self, module: nn.Module, name: str, signed: bool
+    ) -> Tuple[List[Any], bool]:
+        """Steps for ``module`` plus the predicted output signedness."""
+        if isinstance(module, ReBranchConv2d):
+            # Fixed Fig. 9 placement: trunk + projections on ROM macros,
+            # res-conv on SRAM, regardless of requires_grad.
+            rom = lambda: self.rom_config  # noqa: E731
+            sram = lambda: self.sram_config  # noqa: E731
+            trunk = _ConvStep(
+                self._conv_slot(f"{name}.trunk", module.trunk, rom, signed),
+                module.trunk,
+            )
+            compress = _ConvStep(
+                self._conv_slot(f"{name}.compress", module.compress, rom, signed),
+                module.compress,
+            )
+            # Branch intermediates come out of convolutions: signed.
+            res_conv = _ConvStep(
+                self._conv_slot(f"{name}.res_conv", module.res_conv, sram, True),
+                module.res_conv,
+            )
+            decompress = _ConvStep(
+                self._conv_slot(f"{name}.decompress", module.decompress, rom, True),
+                module.decompress,
+            )
+            return [_RebranchStep(name, trunk, compress, res_conv, decompress)], True
+
+        if isinstance(module, nn.Conv2d):
+            slot = self._conv_slot(
+                name, module, self._placement_config_fn(module), signed
+            )
+            return [_ConvStep(slot, module)], True
+
+        if isinstance(module, nn.Linear):
+            slot = self._linear_slot(
+                name, module, self._placement_config_fn(module), signed
+            )
+            return [_LinearStep(slot, module)], True
+
+        if isinstance(module, nn.ReLU):
+            return [_FuncStep(name, lambda x: np.maximum(x, 0.0))], False
+
+        if isinstance(module, nn.LeakyReLU):
+            # Read the slope live: the seed wrapper picked up in-place
+            # module mutation between forwards.
+            return [
+                _FuncStep(
+                    name,
+                    lambda x, m=module: np.where(x > 0, x, m.negative_slope * x),
+                )
+            ], True
+
+        if isinstance(module, nn.Sigmoid):
+            return [
+                _FuncStep(
+                    name, lambda x: 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+                )
+            ], False
+
+        if isinstance(module, nn.Tanh):
+            return [_FuncStep(name, np.tanh)], True
+
+        if isinstance(module, (nn.Identity, nn.Dropout)):
+            return [_FuncStep(name, lambda x: x)], signed
+
+        if isinstance(module, nn.MaxPool2d):
+            return [
+                _FuncStep(
+                    name,
+                    lambda x, m=module: _pool(x, m.kernel_size, m.stride, "max"),
+                )
+            ], signed
+
+        if isinstance(module, nn.AvgPool2d):
+            return [
+                _FuncStep(
+                    name,
+                    lambda x, m=module: _pool(x, m.kernel_size, m.stride, "avg"),
+                )
+            ], signed
+
+        if isinstance(module, nn.GlobalAvgPool2d):
+            return [
+                _FuncStep(name, lambda x: x.mean(axis=(2, 3), keepdims=True))
+            ], signed
+
+        if isinstance(module, nn.Flatten):
+            return [
+                _FuncStep(name, lambda x: x.reshape(x.shape[0], -1))
+            ], signed
+
+        # Any composite (Sequential, ConvBNAct after folding, ...):
+        # chain the children in registration order.  An *empty*
+        # Sequential is a legal no-op placeholder (the seed path ran it
+        # as identity); an empty custom composite stays an error.
+        if isinstance(module, nn.Sequential) or module._modules:
+            steps: List[Any] = []
+            for child_name, child in module._modules.items():
+                child_steps, signed = self.build(
+                    child, f"{name}.{child_name}" if name else child_name, signed
+                )
+                steps.extend(child_steps)
+            return steps, signed
+
+        raise TypeError(f"cannot deploy module of type {type(module).__name__}")
+
+
+class CompiledModel:
+    """A model whose macros are programmed; ready for batched execution.
+
+    Obtain one through :func:`compile`.  :meth:`run` is the hot path:
+    it never re-quantizes weights or rebuilds tiles — only activation
+    quantization and the macro arithmetic happen per batch.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        config: RuntimeConfig,
+        steps: List[Any],
+        slots: List[_EngineSlot],
+        report: DeploymentReport,
+        cache: EngineCache,
+        rng: Optional[np.random.Generator],
+    ):
+        self.model = model
+        self.config = config
+        self.report = report
+        self.cache = cache
+        self._steps = steps
+        self._slots = slots
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._profiles: Dict[Tuple[int, ...], Any] = {}
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        batch: np.ndarray,
+        *,
+        encoding: Any = _USE_DEFAULT,
+        rng: Optional[np.random.Generator] = None,
+        session: Optional[ExecutionSession] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Stream one activation batch through the programmed engines.
+
+        Returns ``(outputs, stats)`` where ``stats`` covers exactly this
+        run; pass ``session`` to additionally accumulate across runs.
+        ``encoding`` overrides the compiled default word-line encoding
+        for this run (``None`` forces bit-serial); layers whose input
+        carries negative values fall back to bit-serial either way.
+
+        Concurrent sessions over one compiled model should pass their
+        own ``rng`` per run when the bit line is noisy — the compiled
+        default generator, like any numpy ``Generator``, is not safe to
+        draw from concurrently.
+        """
+        state = _RunState(
+            rng=rng if rng is not None else self._rng,
+            encoding=self.config.encoding if encoding is _USE_DEFAULT else encoding,
+        )
+        x = np.asarray(batch, dtype=np.float64)
+        n_samples = x.shape[0] if x.ndim else 1
+        for step in self._steps:
+            x = step.apply(x, state)
+        if session is not None:
+            session.record(state.stats, samples=n_samples)
+        return x, state.stats
+
+    def new_session(self) -> ExecutionSession:
+        return ExecutionSession()
+
+    # -- freshness -----------------------------------------------------
+    def ensure_fresh(self) -> int:
+        """Re-fingerprint every layer's live weights.
+
+        Engines for changed weights are re-programmed lazily through the
+        cache on the next run.  Returns the number of changed layers.
+        Call this after mutating weights in place (e.g. on-chip
+        training of SRAM layers); a pure compile-once serving path never
+        needs it.
+        """
+        return sum(1 for slot in self._slots if slot.refresh())
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_weight_layers(self) -> int:
+        return len(self._slots)
+
+    def programmed_engines(self) -> Dict[str, Any]:
+        """Layer id -> engine programmed for the predicted signedness."""
+        return {
+            slot.layer_id: slot.engine_for(slot.predicted_signed)
+            for slot in self._slots
+        }
+
+    def profile(self, input_shape: Tuple[int, ...]):
+        """Analytic :class:`~repro.models.profile.ModelProfile` of the
+        underlying model, cached per input shape."""
+        key = tuple(input_shape)
+        if key not in self._profiles:
+            from repro.models.profile import profile_model
+
+            self._profiles[key] = profile_model(self.model, key)
+        return self._profiles[key]
+
+
+def compile(
+    model: nn.Module,
+    config: Optional[RuntimeConfig] = None,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    cache: Optional[EngineCache] = None,
+) -> CompiledModel:
+    """Program ``model``'s macros once; returns the executable image.
+
+    ``cache`` defaults to the process-wide engine cache, so compiling
+    the same weights twice (or from two sessions) programs each layer's
+    macros exactly once.  ``rng`` seeds the default execution-time noise
+    stream (only consumed when the bit line is noisy).
+    """
+    config = config if config is not None else RuntimeConfig()
+    cache = resolve_cache(cache)
+    if config.fold_bn:
+        fold_batchnorm(model)
+    validate_deployable(model)
+    builder = _PlanBuilder(config, cache)
+    steps, _ = builder.build(model, "", config.assume_signed_input)
+    report = build_report(
+        model,
+        builder.rom_config.weight_bits,
+        builder.sram_config.weight_bits,
+    )
+    return CompiledModel(model, config, steps, builder.slots, report, cache, rng)
+
+
+#: Alias for callers that shadow the builtin ``compile``.
+compile_model = compile

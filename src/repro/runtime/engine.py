@@ -1,0 +1,309 @@
+"""Programmed layer engines: quantize + place weights once, execute many.
+
+A :class:`ProgrammedLinear` / :class:`ProgrammedConv` is the software
+image of a set of fabricated subarrays: the float weights are
+per-channel quantized, decomposed into bit planes, and placed onto
+:class:`~repro.cim.mvm.CimTiledMatmul` tiles exactly once, at
+*programming* time.  Execution then only quantizes the incoming
+activation batch and streams it through the programmed tiles — through
+the fast exact kernel when the configuration allows, or through the
+reference macro path (with an execution-time RNG for bit-line noise
+draws) when it does not.
+
+:func:`linear_engine` / :func:`conv_engine` are the cache-aware
+constructors: they key the engine by ``(layer id, weight fingerprint,
+config)`` and share programmed engines across calls, sessions and
+models through an :class:`~repro.runtime.cache.EngineCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cim.encoding import ActivationEncoding
+from repro.cim.macro import MacroConfig, MacroStats
+from repro.cim.mvm import CimTiledMatmul
+from repro.nn import functional as F
+from repro.quant.quantizer import QuantSpec, quantize
+from repro.runtime.cache import (
+    EngineCache,
+    EngineKey,
+    macro_config_key,
+    resolve_cache,
+    weight_fingerprint,
+)
+from repro.runtime.kernels import TiledBitSerialKernel
+
+
+class ProgrammedLinear:
+    """``y = x @ weight.T`` with the weights programmed into CiM tiles.
+
+    Programming (this constructor) quantizes the float weights with the
+    same per-channel spec the functional path uses and builds the tiled
+    engine once.  :meth:`execute` is the per-batch hot path.
+
+    ``signed_inputs`` is fixed at programming time: the macro's input
+    bit-plane weights (two's complement MSB) are part of the programmed
+    configuration, exactly as on silicon.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        config: Optional[MacroConfig] = None,
+        activation_bits: int = 8,
+        signed_inputs: bool = False,
+    ):
+        config = config if config is not None else MacroConfig()
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D (out, in), got {weight.shape}")
+        self.config = config
+        self.activation_bits = int(activation_bits)
+        self.signed_inputs = bool(signed_inputs)
+        self.out_features, self.in_features = weight.shape
+
+        w_spec = QuantSpec(bits=config.weight_bits, signed=True, per_channel_axis=0)
+        self.w_codes, self.w_scale = quantize(weight, w_spec)
+
+        # Snapshot the bit-line model — the only mutable piece of the
+        # config (CellSpec and AdcSpec are frozen) — so later in-place
+        # mutation of the caller's bit line cannot desynchronize the
+        # programmed kernel's LUT.
+        bitline = replace(config.bitline) if config.bitline is not None else None
+        self.run_config = replace(
+            config,
+            input_bits=self.activation_bits,
+            signed_weights=True,
+            signed_inputs=self.signed_inputs,
+            bitline=bitline,
+        )
+        self.engine = CimTiledMatmul(self.w_codes.T, self.run_config)
+        self._kernel = (
+            TiledBitSerialKernel(self.engine)
+            if TiledBitSerialKernel.supported(self.run_config)
+            else None
+        )
+
+    @property
+    def n_subarrays(self) -> int:
+        return self.engine.n_subarrays
+
+    def execute(
+        self,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        encoding: Optional[ActivationEncoding] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Run a float batch ``(N, in_features)`` through the tiles.
+
+        Bitwise identical to the seed per-call functional path for the
+        same inputs, configuration and RNG.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (N, {self.in_features}), got {x.shape}"
+            )
+        if not self.signed_inputs and x.size and bool((x < 0).any()):
+            raise ValueError(
+                "engine is programmed for unsigned activations but the "
+                "input carries negative values; program a signed-input "
+                "engine for this layer"
+            )
+        act_spec = QuantSpec(bits=self.activation_bits, signed=self.signed_inputs)
+        x_codes, x_scale = quantize(x, act_spec)
+        if encoding is None and self._kernel is not None:
+            y_codes, stats = self._kernel.matmul(x_codes.T)
+        else:
+            rng = rng if rng is not None else np.random.default_rng()
+            y_codes, stats = self.engine.matmul(
+                x_codes.T, encoding=encoding, rng=rng
+            )
+        scale = float(x_scale) * self.w_scale.reshape(-1, 1)
+        return (y_codes * scale).T, stats
+
+
+def conv_patches(
+    x: np.ndarray,
+    weight_shape: Tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """im2col patches ``(N*P, C*kh*kw)`` and the output spatial shape.
+
+    Signedness of a convolution's activations must be decided on these
+    patches — not the raw input — because a stride larger than the
+    kernel can skip the only negative pixels; the seed path quantized
+    exactly the patches.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    _, ic, kh, kw = weight_shape
+    cols, out_hw = F.im2col(
+        x, (kh, kw), (stride, stride), (padding, padding)
+    )  # (N, C*kh*kw, P)
+    return cols.transpose(0, 2, 1).reshape(-1, ic * kh * kw), out_hw
+
+
+class ProgrammedConv:
+    """A convolution programmed as an im2col :class:`ProgrammedLinear`."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+        config: Optional[MacroConfig] = None,
+        activation_bits: int = 8,
+        signed_inputs: bool = False,
+    ):
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 4:
+            raise ValueError(f"weight must be 4-D (O, C, kh, kw), got {weight.shape}")
+        self.out_channels, self.in_channels, self.kh, self.kw = weight.shape
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.linear = ProgrammedLinear(
+            weight.reshape(self.out_channels, -1),
+            config,
+            activation_bits,
+            signed_inputs,
+        )
+
+    @property
+    def n_subarrays(self) -> int:
+        return self.linear.n_subarrays
+
+    @property
+    def weight_shape(self) -> Tuple[int, int, int, int]:
+        return (self.out_channels, self.in_channels, self.kh, self.kw)
+
+    def execute(
+        self,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        encoding: Optional[ActivationEncoding] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Run a float batch ``(N, C, H, W)`` through the tiles."""
+        x = np.asarray(x, dtype=np.float64)
+        patches, out_hw = conv_patches(
+            x, self.weight_shape, self.stride, self.padding
+        )
+        return self.execute_patches(
+            patches, x.shape[0], out_hw, rng=rng, encoding=encoding
+        )
+
+    def execute_patches(
+        self,
+        patches: np.ndarray,
+        n_samples: int,
+        out_hw: Tuple[int, int],
+        rng: Optional[np.random.Generator] = None,
+        encoding: Optional[ActivationEncoding] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Run precomputed :func:`conv_patches` through the tiles."""
+        out_h, out_w = out_hw
+        flat, stats = self.linear.execute(patches, rng=rng, encoding=encoding)
+        out = flat.reshape(n_samples, out_h * out_w, self.out_channels).transpose(
+            0, 2, 1
+        )
+        return out.reshape(n_samples, self.out_channels, out_h, out_w), stats
+
+
+# ----------------------------------------------------------------------
+# Cache-aware constructors
+# ----------------------------------------------------------------------
+def linear_engine_key(
+    weight: np.ndarray,
+    config: MacroConfig,
+    activation_bits: int,
+    signed_inputs: bool,
+    layer_id: str = "functional",
+    fingerprint: Optional[str] = None,
+) -> EngineKey:
+    return EngineKey(
+        layer_id=layer_id,
+        weight_hash=fingerprint if fingerprint is not None else weight_fingerprint(weight),
+        config_key=(
+            "linear",
+            macro_config_key(config),
+            int(activation_bits),
+            bool(signed_inputs),
+        ),
+    )
+
+
+def conv_engine_key(
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+    config: MacroConfig,
+    activation_bits: int,
+    signed_inputs: bool,
+    layer_id: str = "functional",
+    fingerprint: Optional[str] = None,
+) -> EngineKey:
+    return EngineKey(
+        layer_id=layer_id,
+        weight_hash=fingerprint if fingerprint is not None else weight_fingerprint(weight),
+        config_key=(
+            "conv",
+            macro_config_key(config),
+            int(activation_bits),
+            bool(signed_inputs),
+            int(stride),
+            int(padding),
+        ),
+    )
+
+
+def linear_engine(
+    weight: np.ndarray,
+    config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    signed_inputs: bool = False,
+    *,
+    layer_id: str = "functional",
+    cache: Optional[EngineCache] = None,
+    fingerprint: Optional[str] = None,
+) -> ProgrammedLinear:
+    """Fetch (or program on first use) a cached linear engine."""
+    config = config if config is not None else MacroConfig()
+    cache = resolve_cache(cache)
+    key = linear_engine_key(
+        weight, config, activation_bits, signed_inputs, layer_id, fingerprint
+    )
+    return cache.get_or_program(
+        key,
+        lambda: ProgrammedLinear(weight, config, activation_bits, signed_inputs),
+    )
+
+
+def conv_engine(
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    signed_inputs: bool = False,
+    *,
+    layer_id: str = "functional",
+    cache: Optional[EngineCache] = None,
+    fingerprint: Optional[str] = None,
+) -> ProgrammedConv:
+    """Fetch (or program on first use) a cached convolution engine."""
+    config = config if config is not None else MacroConfig()
+    cache = resolve_cache(cache)
+    key = conv_engine_key(
+        weight, stride, padding, config, activation_bits, signed_inputs,
+        layer_id, fingerprint,
+    )
+    return cache.get_or_program(
+        key,
+        lambda: ProgrammedConv(
+            weight, stride, padding, config, activation_bits, signed_inputs
+        ),
+    )

@@ -1,0 +1,151 @@
+"""The seed per-call execution path, preserved as a bit-exact oracle.
+
+The seed library rebuilt every tile and re-quantized every weight on
+each forward call.  :func:`reference_forward` keeps that exact behaviour
+— same arithmetic, same RNG consumption order — so tests can pin the
+compiled runtime's outputs bitwise against it and benchmarks can
+measure the compile-once speedup against the true baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.cim.cells import ROM_1T, SRAM_CIM_6T
+from repro.cim.encoding import ActivationEncoding
+from repro.cim.macro import MacroConfig, MacroStats
+from repro.cim.mvm import reference_cim_conv2d, reference_cim_linear
+from repro.rebranch.branch import ReBranchConv2d
+
+
+class _ReferenceRunner:
+    def __init__(self, rom_config, sram_config, activation_bits, rng, encoding):
+        self.rom_config = rom_config
+        self.sram_config = sram_config
+        self.activation_bits = activation_bits
+        self.rng = rng
+        self.encoding = encoding
+        self.stats = MacroStats()
+
+    def _encoding_for(self, x: np.ndarray) -> Optional[ActivationEncoding]:
+        if self.encoding is None or (x < 0).any():
+            return None
+        return self.encoding
+
+    def _conv(self, x, conv, config):
+        sh, sw = conv.stride
+        ph, pw = conv.padding
+        if sh != sw or ph != pw:
+            raise ValueError("deployment supports square stride/padding only")
+        out, stats = reference_cim_conv2d(
+            x,
+            conv.weight.data,
+            stride=sh,
+            padding=ph,
+            config=config,
+            activation_bits=self.activation_bits,
+            rng=self.rng,
+            encoding=self._encoding_for(x),
+        )
+        self.stats = self.stats + stats
+        if conv.bias is not None:
+            out = out + conv.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+    def run(self, module: nn.Module, x: np.ndarray) -> np.ndarray:
+        if isinstance(module, nn.Sequential):
+            for child in module._modules.values():
+                x = self.run(child, x)
+            return x
+        if isinstance(module, ReBranchConv2d):
+            trunk = self._conv(x, module.trunk, self.rom_config)
+            branch = self._conv(x, module.compress, self.rom_config)
+            branch = self._conv(branch, module.res_conv, self.sram_config)
+            branch = self._conv(branch, module.decompress, self.rom_config)
+            return trunk + branch
+        if isinstance(module, nn.Conv2d):
+            config = (
+                self.sram_config if module.weight.requires_grad else self.rom_config
+            )
+            return self._conv(x, module, config)
+        if isinstance(module, nn.Linear):
+            config = (
+                self.sram_config if module.weight.requires_grad else self.rom_config
+            )
+            out, stats = reference_cim_linear(
+                x,
+                module.weight.data,
+                config=config,
+                activation_bits=self.activation_bits,
+                rng=self.rng,
+                encoding=self._encoding_for(x),
+            )
+            self.stats = self.stats + stats
+            if module.bias is not None:
+                out = out + module.bias.data
+            return out
+        if isinstance(module, (nn.ReLU,)):
+            return np.maximum(x, 0.0)
+        if isinstance(module, nn.LeakyReLU):
+            return np.where(x > 0, x, module.negative_slope * x)
+        if isinstance(module, nn.Sigmoid):
+            return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        if isinstance(module, nn.Tanh):
+            return np.tanh(x)
+        if isinstance(module, (nn.Identity, nn.Dropout)):
+            return x
+        if isinstance(module, nn.MaxPool2d):
+            return pool2d(x, module.kernel_size, module.stride, "max")
+        if isinstance(module, nn.AvgPool2d):
+            return pool2d(x, module.kernel_size, module.stride, "avg")
+        if isinstance(module, nn.GlobalAvgPool2d):
+            return x.mean(axis=(2, 3), keepdims=True)
+        if isinstance(module, nn.Flatten):
+            return x.reshape(x.shape[0], -1)
+        if module._modules:
+            for child in module._modules.values():
+                x = self.run(child, x)
+            return x
+        raise TypeError(f"cannot deploy module of type {type(module).__name__}")
+
+
+def pool2d(x: np.ndarray, kernel, stride, mode: str) -> np.ndarray:
+    """The seed deployment pooling (stride == kernel only), shared by the
+    reference and compiled paths so they cannot diverge."""
+    k = kernel if isinstance(kernel, int) else kernel[0]
+    s = k if stride is None else (stride if isinstance(stride, int) else stride[0])
+    if s != k:
+        raise ValueError("deployment supports stride == kernel pooling only")
+    n, c, h, w = x.shape
+    oh, ow = h // k, w // k
+    view = x[:, :, : oh * k, : ow * k].reshape(n, c, oh, k, ow, k)
+    return view.max(axis=(3, 5)) if mode == "max" else view.mean(axis=(3, 5))
+
+
+def reference_forward(
+    model: nn.Module,
+    x: np.ndarray,
+    rom_config: Optional[MacroConfig] = None,
+    sram_config: Optional[MacroConfig] = None,
+    activation_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+    encoding: Optional[ActivationEncoding] = None,
+) -> Tuple[np.ndarray, MacroStats]:
+    """Seed-semantics forward pass: rebuild and re-quantize per call.
+
+    Returns ``(outputs, stats)``.  This is the baseline the compiled
+    runtime must match bitwise (same inputs, configs, and RNG) and the
+    yardstick its speedup is measured against.
+    """
+    runner = _ReferenceRunner(
+        rom_config if rom_config is not None else MacroConfig(cell=ROM_1T),
+        sram_config if sram_config is not None else MacroConfig(cell=SRAM_CIM_6T),
+        activation_bits,
+        rng if rng is not None else np.random.default_rng(),
+        encoding,
+    )
+    out = runner.run(model, np.asarray(x, dtype=np.float64))
+    return out, runner.stats

@@ -1,0 +1,42 @@
+"""Per-session execution accounting.
+
+The seed library accumulated :class:`~repro.cim.macro.MacroStats` on the
+deployed model object itself, so concurrent workloads sharing one model
+clobbered each other's counters.  An :class:`ExecutionSession` moves the
+accounting to the caller: each serving session (a client, a benchmark
+sweep, a tenant) owns its own accumulator and passes it to
+:meth:`CompiledModel.run`, while the programmed engines stay shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cim.macro import MacroStats
+
+
+@dataclass
+class ExecutionSession:
+    """Accumulated macro activity of one stream of batches."""
+
+    stats: MacroStats = field(default_factory=MacroStats)
+    batches: int = 0
+    samples: int = 0
+
+    def record(self, stats: MacroStats, samples: int) -> None:
+        self.stats = self.stats + stats
+        self.batches += 1
+        self.samples += int(samples)
+
+    @property
+    def energy_per_sample_fj(self) -> float:
+        return self.stats.total_energy_fj / self.samples if self.samples else 0.0
+
+    @property
+    def macs_per_sample(self) -> float:
+        return self.stats.macs / self.samples if self.samples else 0.0
+
+    def reset(self) -> None:
+        self.stats = MacroStats()
+        self.batches = 0
+        self.samples = 0

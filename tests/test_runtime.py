@@ -1,0 +1,563 @@
+"""Tests for the compile-once deployment runtime.
+
+The load-bearing guarantees:
+
+* the compiled path (and the functional shims over it) is **bitwise
+  identical** to the seed per-call reference path at a fixed RNG seed,
+  for outputs and stats;
+* the engine cache shares programmed macros across calls and compiles
+  (hit/miss/eviction semantics, capacity-0 per-call mode);
+* compiling a model programs each layer's macros exactly once, and
+  compiling again reuses the programmed engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cim import (
+    AdcSpec,
+    BitlineModel,
+    CimDeployedModel,
+    CimMacro,
+    CimTiledMatmul,
+    MacroConfig,
+    PulseWidthEncoding,
+    cim_conv2d,
+    cim_linear,
+    reference_cim_conv2d,
+    reference_cim_linear,
+)
+from repro.runtime import (
+    CompiledModel,
+    EngineCache,
+    EngineKey,
+    ExecutionSession,
+    MacroBitSerialKernel,
+    RuntimeConfig,
+    TiledBitSerialKernel,
+    compile_model,
+    linear_engine,
+    reference_forward,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def tiny_chain(num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(6 * 4 * 4, num_classes, rng=rng),
+    )
+
+
+def tiny_input(n=2, seed=1):
+    return np.random.default_rng(seed).normal(size=(n, 3, 8, 8))
+
+
+# ----------------------------------------------------------------------
+# Engine cache
+# ----------------------------------------------------------------------
+class TestEngineCache:
+    def key(self, tag):
+        return EngineKey(layer_id=tag, weight_hash="w", config_key=("k",))
+
+    def test_miss_then_hit(self):
+        cache = EngineCache(capacity=4)
+        built = []
+        for _ in range(3):
+            engine = cache.get_or_program(self.key("a"), lambda: built.append(1) or "e")
+        assert engine == "e"
+        assert built == [1]
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.programmed == 1
+
+    def test_lru_eviction(self):
+        cache = EngineCache(capacity=2)
+        for tag in ("a", "b", "c"):
+            cache.get_or_program(self.key(tag), lambda t=tag: t)
+        assert cache.stats.evictions == 1
+        assert self.key("a") not in cache  # least recently used went first
+        assert self.key("b") in cache and self.key("c") in cache
+        # Touching "b" promotes it; inserting "d" now evicts "c".
+        cache.get_or_program(self.key("b"), lambda: "b2")
+        cache.get_or_program(self.key("d"), lambda: "d")
+        assert self.key("c") not in cache
+        assert self.key("b") in cache
+
+    def test_capacity_zero_is_per_call_mode(self):
+        cache = EngineCache(capacity=0)
+        for _ in range(3):
+            cache.get_or_program(self.key("a"), lambda: object())
+        assert len(cache) == 0
+        assert cache.stats.misses == 3
+        assert cache.stats.programmed == 3
+
+    def test_clear(self):
+        cache = EngineCache()
+        cache.get_or_program(self.key("a"), lambda: "e")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EngineCache(capacity=-1)
+
+
+# ----------------------------------------------------------------------
+# Fast kernels: bitwise against the reference macro arithmetic
+# ----------------------------------------------------------------------
+class TestKernels:
+    @pytest.mark.parametrize("signed", [False, True])
+    @pytest.mark.parametrize("adc_bits", [5, 8])
+    def test_macro_kernel_bitwise(self, signed, adc_bits):
+        config = MacroConfig(signed_inputs=signed, adc=AdcSpec(bits=adc_bits))
+        weights = RNG.integers(-128, 128, size=(40, 12))
+        macro = CimMacro(config, weights)
+        kernel = MacroBitSerialKernel(macro)
+        low, high = (-128, 128) if signed else (0, 256)
+        for n in (1, 5, 33):
+            x = RNG.integers(low, high, size=(40, n))
+            ref, ref_stats = macro.matmul(x)
+            for _ in range(2):  # second call exercises the cached einsum path
+                fast, fast_stats = kernel.matmul(x)
+                assert np.array_equal(ref, fast)
+                assert ref_stats == fast_stats
+
+    def test_tiled_kernel_bitwise_multi_tile(self):
+        config = MacroConfig()
+        weights = RNG.integers(-128, 128, size=(216, 48))  # 2 x 2 tiles
+        engine = CimTiledMatmul(weights, config)
+        kernel = TiledBitSerialKernel(engine)
+        x = RNG.integers(0, 256, size=(216, 9))
+        ref, ref_stats = engine.matmul(x)
+        fast, fast_stats = kernel.matmul(x)
+        assert np.array_equal(ref, fast)
+        assert ref_stats == fast_stats
+
+    def test_degenerate_first_batch_cannot_poison_dispatch(self):
+        """An all-zero first batch must not lock a recombination mode
+        that diverges from the reference on later real batches."""
+        config = MacroConfig(signed_inputs=False)
+        weights = RNG.integers(-128, 128, size=(64, 32))
+        macro = CimMacro(config, weights)
+        kernel = MacroBitSerialKernel(macro)
+        zeros = np.zeros((64, 5), dtype=np.int64)
+        kernel.matmul(zeros)  # primes the per-shape dispatch cache
+        x = RNG.integers(0, 256, size=(64, 5))
+        ref, ref_stats = macro.matmul(x)
+        fast, fast_stats = kernel.matmul(x)
+        assert np.array_equal(ref, fast)
+        assert ref_stats == fast_stats
+
+    def test_tiled_kernel_squeezes_vectors(self):
+        engine = CimTiledMatmul(RNG.integers(-8, 8, size=(30, 5)), MacroConfig())
+        kernel = TiledBitSerialKernel(engine)
+        x = RNG.integers(0, 256, size=(30,))
+        ref, _ = engine.matmul(x)
+        fast, _ = kernel.matmul(x)
+        assert fast.shape == ref.shape == (5,)
+        assert np.array_equal(ref, fast)
+
+    def test_kernel_rejects_noisy_bitline(self):
+        config = MacroConfig(bitline=BitlineModel(noise_sigma_counts=1.0))
+        macro = CimMacro(config, np.zeros((8, 4), dtype=int))
+        assert not MacroBitSerialKernel.supported(config)
+        with pytest.raises(ValueError, match="noise-free"):
+            MacroBitSerialKernel(macro)
+
+    def test_kernel_validates_input_range(self):
+        macro = CimMacro(MacroConfig(), np.zeros((8, 4), dtype=int))
+        kernel = MacroBitSerialKernel(macro)
+        with pytest.raises(ValueError, match="input codes outside"):
+            kernel.matmul(np.full((8, 2), 300))
+
+
+# ----------------------------------------------------------------------
+# Functional shims
+# ----------------------------------------------------------------------
+class TestFunctionalShims:
+    def test_cim_linear_bitwise_vs_reference(self):
+        x = RNG.normal(size=(6, 40))
+        w = RNG.normal(size=(12, 40))
+        y_ref, s_ref = reference_cim_linear(x, w)
+        y_new, s_new = cim_linear(x, w, cache=EngineCache())
+        assert np.array_equal(y_ref, y_new)
+        assert s_ref == s_new
+
+    def test_cim_conv2d_bitwise_vs_reference(self):
+        x = RNG.random((2, 3, 8, 8))
+        w = RNG.normal(size=(5, 3, 3, 3))
+        y_ref, s_ref = reference_cim_conv2d(x, w, stride=1, padding=1)
+        y_new, s_new = cim_conv2d(x, w, stride=1, padding=1, cache=EngineCache())
+        assert np.array_equal(y_ref, y_new)
+        assert s_ref == s_new
+
+    def test_repeated_call_hits_cache(self):
+        cache = EngineCache()
+        x = RNG.normal(size=(4, 20))
+        w = RNG.normal(size=(8, 20))
+        y1, _ = cim_linear(x, w, cache=cache)
+        y2, _ = cim_linear(x, w, cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert np.array_equal(y1, y2)
+
+    def test_capacity_zero_reprograms_every_call(self):
+        cache = EngineCache(capacity=0)
+        x = RNG.normal(size=(4, 20))
+        w = RNG.normal(size=(8, 20))
+        cim_linear(x, w, cache=cache)
+        cim_linear(x, w, cache=cache)
+        assert cache.stats.programmed == 2
+
+    def test_changed_weights_program_new_engine(self):
+        cache = EngineCache()
+        x = RNG.normal(size=(4, 20))
+        w = RNG.normal(size=(8, 20))
+        cim_linear(x, w, cache=cache)
+        cim_linear(x, w + 1.0, cache=cache)
+        assert cache.stats.misses == 2
+
+    def test_noise_path_bitwise_with_same_rng(self):
+        config = MacroConfig(bitline=BitlineModel(noise_sigma_counts=2.0))
+        x = RNG.normal(size=(4, 20))
+        w = RNG.normal(size=(8, 20))
+        y_ref, _ = reference_cim_linear(x, w, config, rng=np.random.default_rng(3))
+        y_new, _ = cim_linear(
+            x, w, config, rng=np.random.default_rng(3), cache=EngineCache()
+        )
+        assert np.array_equal(y_ref, y_new)
+
+    def test_conv_signedness_decided_on_patches(self):
+        """A stride larger than the kernel can skip the only negative
+        pixels; signedness must follow the im2col patches (what gets
+        quantized), exactly like the reference path."""
+        x = RNG.random((1, 1, 4, 4))
+        x[0, 0, 1, 1] = -0.5  # never sampled by kernel=1, stride=2
+        w = RNG.normal(size=(2, 1, 1, 1))
+        y_ref, s_ref = reference_cim_conv2d(x, w, stride=2, padding=0)
+        y_new, s_new = cim_conv2d(x, w, stride=2, padding=0, cache=EngineCache())
+        assert np.array_equal(y_ref, y_new)
+        assert s_ref == s_new
+
+    def test_cell_variants_get_distinct_engines(self):
+        """Cells swept via dataclasses.replace keep their name; the
+        cache must key the cell by value or energy stats go stale."""
+        from dataclasses import replace
+
+        from repro.cim import ROM_1T
+
+        cache = EngineCache()
+        x = RNG.random((4, 20))
+        w = RNG.normal(size=(8, 20))
+        _, stats_a = cim_linear(x, w, MacroConfig(cell=ROM_1T), cache=cache)
+        hot_cell = replace(ROM_1T, read_energy_fj=ROM_1T.read_energy_fj * 10)
+        _, stats_b = cim_linear(x, w, MacroConfig(cell=hot_cell), cache=cache)
+        assert cache.stats.misses == 2  # two engines, not one alias
+        assert stats_b.bitline_energy_fj == pytest.approx(
+            10 * stats_a.bitline_energy_fj
+        )
+
+    def test_unsigned_engine_rejects_negative_inputs(self):
+        engine = linear_engine(
+            RNG.normal(size=(8, 20)), signed_inputs=False, cache=EngineCache()
+        )
+        with pytest.raises(ValueError, match="unsigned"):
+            engine.execute(RNG.normal(size=(4, 20)))
+
+
+# ----------------------------------------------------------------------
+# Compiled model
+# ----------------------------------------------------------------------
+class TestCompiledModel:
+    def test_bitwise_identical_to_reference_forward(self):
+        model = tiny_chain()
+        x = tiny_input()
+        compiled = compile_model(model, RuntimeConfig(), cache=EngineCache())
+        out_c, stats_c = compiled.run(x)
+        out_r, stats_r = reference_forward(model, x)
+        assert np.array_equal(out_c, out_r)
+        assert stats_c == stats_r
+
+    def test_bitwise_identical_with_8bit_adc_and_signed_input(self):
+        config = MacroConfig(adc=AdcSpec(bits=8))
+        model = tiny_chain(seed=3)
+        x = tiny_input(seed=5)
+        compiled = compile_model(
+            model,
+            RuntimeConfig(rom_config=config, sram_config=config),
+            cache=EngineCache(),
+        )
+        out_c, stats_c = compiled.run(x)
+        out_r, stats_r = reference_forward(
+            model, x, rom_config=config, sram_config=config
+        )
+        assert np.array_equal(out_c, out_r)
+        assert stats_c == stats_r
+
+    def test_deployed_wrapper_matches_reference(self):
+        model = tiny_chain()
+        x = tiny_input()
+        deployed = CimDeployedModel(model, cache=EngineCache())
+        out = deployed(x)
+        out_r, stats_r = reference_forward(model, x)
+        assert np.array_equal(out, out_r)
+        assert deployed.last_stats == stats_r
+
+    def test_compile_programs_each_layer_once(self):
+        cache = EngineCache()
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=cache)
+        assert compiled.n_weight_layers == 2
+        assert cache.stats.programmed == 2
+        # Running does not program anything new at matching signedness.
+        compiled.run(tiny_input())
+        assert cache.stats.programmed == 2
+
+    def test_compile_twice_reuses_programmed_engines(self):
+        cache = EngineCache()
+        model = tiny_chain()
+        first = compile_model(model, RuntimeConfig(), cache=cache)
+        programmed = cache.stats.programmed
+        second = compile_model(model, RuntimeConfig(), cache=cache)
+        assert cache.stats.programmed == programmed  # nothing rebuilt
+        ours = first.programmed_engines()
+        theirs = second.programmed_engines()
+        assert set(ours) == set(theirs)
+        for name, engine in ours.items():
+            assert engine is theirs[name]
+
+    def test_cache_eviction_does_not_reprogram_hot_path(self):
+        """Slots hold strong engine references: LRU eviction in a tiny
+        shared cache must not force per-run reprogramming."""
+        cache = EngineCache(capacity=1)
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=cache)
+        programmed = cache.stats.programmed
+        x = tiny_input()
+        out1, _ = compiled.run(x)
+        out2, _ = compiled.run(x)
+        assert cache.stats.programmed == programmed
+        assert np.array_equal(out1, out2)
+
+    def test_leaky_relu_slope_read_live(self):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0)),
+            nn.LeakyReLU(0.1),
+            nn.Flatten(),
+            nn.Linear(4 * 8 * 8, 3, rng=np.random.default_rng(1)),
+        )
+        x = tiny_input()
+        deployed = CimDeployedModel(model, cache=EngineCache())
+        before = deployed(x)
+        model._modules["1"].negative_slope = 0.5
+        after = deployed(x)
+        expected, _ = reference_forward(model, x)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, expected)
+
+    def test_stats_are_per_run_not_accumulated(self):
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        x = tiny_input()
+        _, stats1 = compiled.run(x)
+        _, stats2 = compiled.run(x)
+        assert stats1 == stats2
+        assert stats1.macs > 0
+
+    def test_session_accumulates_across_runs(self):
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        session = compiled.new_session()
+        x = tiny_input()
+        _, stats = compiled.run(x, session=session)
+        compiled.run(x, session=session)
+        assert session.batches == 2
+        assert session.samples == 2 * x.shape[0]
+        assert session.stats.macs == 2 * stats.macs
+        assert session.energy_per_sample_fj > 0
+        session.reset()
+        assert session.batches == 0 and session.stats.macs == 0
+
+    def test_encoding_falls_back_for_signed_inputs(self):
+        model = tiny_chain()
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        compiled = compile_model(
+            model,
+            RuntimeConfig(encoding=PulseWidthEncoding()),
+            cache=EngineCache(),
+        )
+        out, _ = compiled.run(x)  # would raise without the fallback
+        assert np.isfinite(out).all()
+
+    def test_encoding_matches_reference_on_unsigned_input(self):
+        model = tiny_chain()
+        x = np.random.default_rng(0).random((2, 3, 8, 8))
+        compiled = compile_model(model, RuntimeConfig(), cache=EngineCache())
+        out_c, stats_c = compiled.run(
+            x, encoding=PulseWidthEncoding(), rng=np.random.default_rng(4)
+        )
+        out_r, stats_r = reference_forward(
+            model, x, encoding=PulseWidthEncoding(), rng=np.random.default_rng(4)
+        )
+        assert np.array_equal(out_c, out_r)
+        assert stats_c == stats_r
+
+    def test_noisy_bitline_bitwise_with_fixed_rng(self):
+        config = MacroConfig(bitline=BitlineModel(noise_sigma_counts=1.5))
+        model = tiny_chain()
+        x = tiny_input()
+        compiled = compile_model(
+            model,
+            RuntimeConfig(rom_config=config, sram_config=config),
+            cache=EngineCache(),
+        )
+        out_c, _ = compiled.run(x, rng=np.random.default_rng(11))
+        out_r, _ = reference_forward(
+            model,
+            x,
+            rom_config=config,
+            sram_config=config,
+            rng=np.random.default_rng(11),
+        )
+        assert np.array_equal(out_c, out_r)
+
+    def test_unfolded_batchnorm_rejected(self):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1), nn.BatchNorm2d(4), nn.ReLU()
+        )
+        with pytest.raises(ValueError, match="unfolded BatchNorm2d"):
+            compile_model(model, RuntimeConfig(), cache=EngineCache())
+
+    def test_empty_sequential_is_a_noop_placeholder(self):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0)),
+            nn.Sequential(),  # e.g. a "no downsample" slot
+            nn.ReLU(),
+        )
+        x = tiny_input()
+        compiled = compile_model(model, RuntimeConfig(), cache=EngineCache())
+        out_c, _ = compiled.run(x)
+        out_r, _ = reference_forward(model, x)
+        assert np.array_equal(out_c, out_r)
+
+    def test_unsupported_module_rejected_at_compile(self):
+        class Strange(nn.Module):
+            pass
+
+        with pytest.raises(TypeError, match="cannot deploy"):
+            compile_model(
+                nn.Sequential(Strange()), RuntimeConfig(), cache=EngineCache()
+            )
+
+    def test_compiled_conv_stride_gt_kernel_matches_reference(self):
+        model = nn.Sequential(
+            nn.Conv2d(1, 2, 1, stride=2, rng=np.random.default_rng(0))
+        )
+        x = np.random.default_rng(1).random((2, 1, 4, 4))
+        x[:, 0, 1, 1] = -0.5  # negative only at unsampled positions
+        compiled = compile_model(model, RuntimeConfig(), cache=EngineCache())
+        out_c, stats_c = compiled.run(x)
+        out_r, stats_r = reference_forward(model, x)
+        assert np.array_equal(out_c, out_r)
+        assert stats_c == stats_r
+
+    def test_freezing_a_layer_moves_it_to_rom(self):
+        """The seed path re-decided ROM vs SRAM from requires_grad on
+        every forward; the compiled wrapper must track it live."""
+        model = tiny_chain()
+        x = tiny_input()
+        deployed = CimDeployedModel(model, cache=EngineCache())
+        deployed(x)
+        sram_stats = deployed.last_stats
+        for parameter in model.parameters():
+            parameter.requires_grad = False
+        deployed(x)
+        rom_stats = deployed.last_stats
+        expected, expected_stats = reference_forward(model, x)
+        assert rom_stats == expected_stats
+        # ROM cells discharge less energy than SRAM-CiM cells.
+        assert rom_stats.bitline_energy_fj < sram_stats.bitline_energy_fj
+
+    def test_ensure_fresh_tracks_inplace_weight_updates(self):
+        model = tiny_chain()
+        x = tiny_input()
+        deployed = CimDeployedModel(model, cache=EngineCache())
+        before = deployed(x)
+        # On-chip training updates SRAM weights in place.
+        model._modules["4"].weight.data += 0.5
+        after = deployed(x)
+        expected, _ = reference_forward(model, x)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, expected)
+
+    def test_report_matches_legacy_placement(self):
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        report = compiled.report
+        kinds = {layer.kind for layer in report.layers}
+        assert kinds == {"conv", "linear"}
+        # Freshly built layers are trainable, so everything lands on SRAM.
+        assert report.sram_weight_bits > 0
+        assert report.rom_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# Consumers routed through CompiledModel
+# ----------------------------------------------------------------------
+class TestConsumers:
+    def test_profile_model_accepts_compiled(self):
+        from repro.models import profile_model
+
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        profile = profile_model(compiled, (1, 3, 8, 8))
+        assert profile.total_macs > 0
+        assert len(profile.weight_layers()) == 2
+
+    def test_profile_model_rejects_other_types(self):
+        from repro.models import profile_model
+
+        with pytest.raises(TypeError, match="cannot profile"):
+            profile_model(object(), (1, 3, 8, 8))
+
+    def test_compiled_profile_is_cached(self):
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        assert compiled.profile((1, 3, 8, 8)) is compiled.profile((1, 3, 8, 8))
+
+    def test_evaluate_compiled(self):
+        from repro.arch import evaluate_all_systems, evaluate_compiled
+
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        reports = evaluate_compiled(compiled, (1, 3, 8, 8))
+        assert set(reports) == {"yoloc", "sram-single-chip", "sram-chiplet"}
+        direct = evaluate_all_systems(compiled.profile((1, 3, 8, 8)))
+        assert reports["yoloc"].macs == direct["yoloc"].macs
+
+    def test_tasks_for_compiled(self):
+        from repro.arch import tasks_for_compiled
+
+        compiled = compile_model(tiny_chain(), RuntimeConfig(), cache=EngineCache())
+        tasks = tasks_for_compiled(
+            compiled, (1, 3, 8, 8), chip_capacity_bits=1e6, chip_gops=100.0
+        )
+        assert len(tasks) == 2
+        assert all(task.compute_ns > 0 for task in tasks)
+
+
+# ----------------------------------------------------------------------
+# Runtime study experiment
+# ----------------------------------------------------------------------
+class TestRuntimeStudy:
+    def test_fast_config_runs_and_is_bitwise(self):
+        from repro.experiments import runtime_study
+
+        config = runtime_study.RuntimeStudyConfig(
+            in_features=64, layer_widths=(32,), n_requests=3, repeats=1
+        )
+        result = runtime_study.run(config)
+        assert result.engines_programmed == 2
+        assert {r.regime for r in result.regimes} == {"serving", "streaming"}
+        for regime in result.regimes:
+            assert regime.bitwise_identical
+            assert regime.compiled_ms > 0 and regime.reference_ms > 0
+        assert result.regime("serving").n_calls == 3
