@@ -16,6 +16,9 @@ Top-level subpackages
 ``repro.runtime``
     Compile-once / execute-many deployment runtime: program macros
     once, stream batches through cached engines.
+``repro.serve``
+    Multi-tenant dynamic-batching inference serving: model registry,
+    fair micro-batching scheduler, worker pool, metrics, load generator.
 ``repro.arch``
     System-level area/latency/energy simulator (Figs. 12-14).
 ``repro.rebranch``
@@ -28,7 +31,7 @@ Top-level subpackages
     One runner per paper table/figure.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "nn",
@@ -36,6 +39,7 @@ __all__ = [
     "quant",
     "cim",
     "runtime",
+    "serve",
     "arch",
     "rebranch",
     "datasets",

@@ -19,6 +19,9 @@ Commands
 ``subbit``      sub-8-bit quantization on VGG vs MobileNet (section 2.3).
 ``runtime``     compile-once runtime amortization study (serving vs
                 streaming, compiled vs seed per-call path).
+``serve``       dynamic-batching inference server demo: Poisson traffic
+                from mixed tenants over registered models, with
+                throughput / latency / batching / energy metrics.
 """
 
 from __future__ import annotations
@@ -378,6 +381,69 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import nn
+    from repro.serve import (
+        BatchPolicy,
+        InferenceServer,
+        LoadGenerator,
+        LoadSpec,
+        ModelRegistry,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    zoo = {
+        "mlp-small": nn.Sequential(
+            nn.Linear(128, 64, rng=rng), nn.ReLU(), nn.Linear(64, 10, rng=rng)
+        ),
+        "mlp-wide": nn.Sequential(
+            nn.Linear(128, 96, rng=rng), nn.ReLU(), nn.Linear(96, 10, rng=rng)
+        ),
+    }
+    registry = ModelRegistry()
+    for name, model in zoo.items():
+        registry.register(name, model)
+    print("registry:")
+    print(format_table(registry.rows(), ["model", "layers", "gen", "compile_ms"]))
+
+    policy = BatchPolicy(
+        max_batch_size=args.batch,
+        max_wait_s=args.wait_ms / 1000.0,
+        max_queue_depth=args.queue_depth,
+    )
+    pool_rng = np.random.default_rng(args.seed + 1)
+    pools = {name: pool_rng.normal(size=(64, 128)) for name in zoo}
+    spec = LoadSpec(
+        n_requests=args.requests,
+        rate_rps=args.rate if args.rate > 0 else None,
+        tenant_weights={"alice": 3.0, "bob": 2.0, "carol": 1.0},
+        seed=args.seed,
+    )
+    server = InferenceServer(registry, policy, n_workers=args.workers)
+    with server:
+        report = LoadGenerator(server, spec, pools).run()
+        snapshot = server.snapshot()
+
+    print(
+        f"\nload: {report.completed}/{report.n_requests} completed, "
+        f"{report.rejected} rejected, {report.failed} failed in "
+        f"{report.wall_s * 1e3:.0f} ms ({report.throughput_rps:.0f} req/s)"
+    )
+    print("\nserver metrics:")
+    print(format_table(snapshot.rows(), ["metric", "value"]))
+    print("\nbatch-size histogram:")
+    hist = sorted(snapshot.batch_size_hist.items())
+    print(format_table(hist, ["batch_samples", "count"]))
+    print("\nper-tenant accounting:")
+    print(
+        format_table(
+            snapshot.tenant_rows(),
+            ["tenant", "completed", "samples", "rejected", "failed", "cancelled", "nJ_per_sample", "MMACs_per_sample"],
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="YOLoC (DAC'22) reproduction toolkit"
@@ -403,6 +469,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("variation", help="device-variation Monte-Carlo").set_defaults(
         func=_cmd_variation
     )
+
+    serve = sub.add_parser("serve", help="dynamic-batching serving demo")
+    serve.add_argument("--requests", type=int, default=128, help="total requests")
+    serve.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="Poisson offered load in req/s (0 = unpaced burst)",
+    )
+    serve.add_argument("--batch", type=int, default=16, help="max batch samples")
+    serve.add_argument("--wait-ms", type=float, default=2.0, help="max batching wait")
+    serve.add_argument("--queue-depth", type=int, default=256, help="admission bound")
+    serve.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     chiplets = sub.add_parser("chiplets", help="ROM vs SRAM chiplet assemblies")
     chiplets.add_argument(

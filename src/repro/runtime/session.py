@@ -6,11 +6,17 @@ clobbered each other's counters.  An :class:`ExecutionSession` moves the
 accounting to the caller: each serving session (a client, a benchmark
 sweep, a tenant) owns its own accumulator and passes it to
 :meth:`CompiledModel.run`, while the programmed engines stay shared.
+
+A session is safe to share across worker threads: :meth:`record` (and
+every reader) holds an internal lock, so concurrent workers executing
+batches for one tenant cannot lose updates.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Tuple
 
 from repro.cim.macro import MacroStats
 
@@ -22,21 +28,33 @@ class ExecutionSession:
     stats: MacroStats = field(default_factory=MacroStats)
     batches: int = 0
     samples: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, stats: MacroStats, samples: int) -> None:
-        self.stats = self.stats + stats
-        self.batches += 1
-        self.samples += int(samples)
+        with self._lock:
+            self.stats = self.stats + stats
+            self.batches += 1
+            self.samples += int(samples)
+
+    def snapshot(self) -> Tuple[MacroStats, int, int]:
+        """Consistent ``(stats, batches, samples)`` view under the lock."""
+        with self._lock:
+            return self.stats, self.batches, self.samples
 
     @property
     def energy_per_sample_fj(self) -> float:
-        return self.stats.total_energy_fj / self.samples if self.samples else 0.0
+        with self._lock:
+            return self.stats.total_energy_fj / self.samples if self.samples else 0.0
 
     @property
     def macs_per_sample(self) -> float:
-        return self.stats.macs / self.samples if self.samples else 0.0
+        with self._lock:
+            return self.stats.macs / self.samples if self.samples else 0.0
 
     def reset(self) -> None:
-        self.stats = MacroStats()
-        self.batches = 0
-        self.samples = 0
+        with self._lock:
+            self.stats = MacroStats()
+            self.batches = 0
+            self.samples = 0

@@ -1,0 +1,286 @@
+"""Serving metrics: throughput, latency percentiles, batching, energy.
+
+Everything here is O(1) per observation on the worker hot path — a ring
+buffer for latencies, a timestamp deque for the rolling-throughput
+window, a dict bump for the batch-size histogram — with aggregation
+deferred to :meth:`ServerMetrics.snapshot`.  Energy per sample per
+tenant comes from the tenants' :class:`~repro.runtime.ExecutionSession`
+accumulators, which the server feeds with each request's proportional
+share of its executed batch's :class:`~repro.cim.macro.MacroStats`
+(computed by :func:`fraction_of_stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cim.macro import MacroStats
+
+
+def fraction_of_stats(stats: MacroStats, numerator: int, denominator: int) -> MacroStats:
+    """``numerator / denominator`` of a batch's stats, field by field.
+
+    Used to attribute one executed batch's activity to the requests (and
+    tenants) coalesced into it, proportionally to their sample counts.
+    Count fields become fractional in general; they are accounting
+    quantities, and per-tenant sums over a full batch stay exact.
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    f = numerator / denominator
+    return MacroStats(
+        cycles=stats.cycles * f,
+        adc_conversions=stats.adc_conversions * f,
+        row_activations=stats.row_activations * f,
+        macs=stats.macs * f,
+        wl_energy_fj=stats.wl_energy_fj * f,
+        bitline_energy_fj=stats.bitline_energy_fj * f,
+        adc_energy_fj=stats.adc_energy_fj * f,
+        peripheral_energy_fj=stats.peripheral_energy_fj * f,
+        latency_ns=stats.latency_ns,  # the batch's critical path is shared
+    )
+
+
+def percentile(values: np.ndarray, q: float) -> float:
+    """Nearest-rank percentile (no interpolation): the q-th of N sorted
+    observations is element ``ceil(q/100 * N) - 1``."""
+    if values.size == 0:
+        return 0.0
+    ordered = np.sort(values)
+    rank = max(int(np.ceil(q / 100.0 * ordered.size)) - 1, 0)
+    return float(ordered[rank])
+
+
+@dataclass
+class TenantMetrics:
+    """Per-tenant aggregate of one snapshot."""
+
+    tenant: str
+    completed: int
+    samples: int
+    rejected: int
+    failed: int
+    cancelled: int
+    energy_per_sample_fj: float
+    macs_per_sample: float
+
+
+@dataclass
+class MetricsSnapshot:
+    """Consistent point-in-time view of server activity."""
+
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    rejected: Dict[str, int]
+    queue_depth: int
+    batches: int
+    batch_size_hist: Dict[int, int]
+    throughput_rps: float
+    throughput_sps: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_queued_s: float
+    tenants: List[TenantMetrics] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * n for size, n in self.batch_size_hist.items())
+        n_batches = sum(self.batch_size_hist.values())
+        return total / n_batches if n_batches else 0.0
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejected.values())
+
+    def rows(self) -> List[Tuple]:
+        """``(metric, value)`` rows for ``experiments.common.format_table``."""
+        return [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("rejected", self.total_rejected),
+            ("failed", self.failed),
+            ("cancelled", self.cancelled),
+            ("queue_depth", self.queue_depth),
+            ("batches", self.batches),
+            ("mean_batch", round(self.mean_batch_size, 2)),
+            ("throughput_rps", round(self.throughput_rps, 1)),
+            ("throughput_sps", round(self.throughput_sps, 1)),
+            ("p50_ms", round(self.p50_latency_s * 1e3, 3)),
+            ("p95_ms", round(self.p95_latency_s * 1e3, 3)),
+            ("p99_ms", round(self.p99_latency_s * 1e3, 3)),
+            ("mean_queued_ms", round(self.mean_queued_s * 1e3, 3)),
+        ]
+
+    def tenant_rows(self) -> List[Tuple]:
+        return [
+            (
+                t.tenant,
+                t.completed,
+                t.samples,
+                t.rejected,
+                t.failed,
+                t.cancelled,
+                round(t.energy_per_sample_fj / 1e6, 3),  # nJ
+                round(t.macs_per_sample / 1e6, 3),  # M MACs
+            )
+            for t in self.tenants
+        ]
+
+
+class ServerMetrics:
+    """Thread-safe rolling metrics collector.
+
+    ``window_s`` bounds the rolling-throughput horizon; ``history``
+    bounds the latency ring buffer the percentiles are computed over.
+    """
+
+    def __init__(self, window_s: float = 60.0, history: int = 4096):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.window_s = window_s
+        self._born = time.monotonic()
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=history)
+        self._queued: Deque[float] = deque(maxlen=history)
+        self._completions: Deque[Tuple[float, int, int]] = deque()  # (t, requests, samples)
+        self._batch_size_hist: Dict[int, int] = {}
+        self._rejected: Dict[str, int] = {}
+        self._tenant_completed: Dict[str, int] = {}
+        self._tenant_rejected: Dict[str, int] = {}
+        self._tenant_failed: Dict[str, int] = {}
+        self._tenant_cancelled: Dict[str, int] = {}
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.batches = 0
+
+    # -- hot-path observations ----------------------------------------
+    def observe_submitted(self, n: int = 1) -> None:
+        with self._lock:
+            self.submitted += n
+
+    def observe_rejected(self, reason: str, tenant: str) -> None:
+        """Record a typed rejection (the submission itself is counted by
+        ``observe_submitted``, which runs first for every request)."""
+        with self._lock:
+            self._rejected[reason] = self._rejected.get(reason, 0) + 1
+            self._tenant_rejected[tenant] = self._tenant_rejected.get(tenant, 0) + 1
+
+    def observe_batch(
+        self,
+        n_samples: int,
+        latencies_s: List[float],
+        queued_s: List[float],
+        tenants: List[str],
+        now: Optional[float] = None,
+    ) -> None:
+        """Record one executed batch and its per-request timings."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self.batches += 1
+            self.completed += len(latencies_s)
+            self._batch_size_hist[n_samples] = (
+                self._batch_size_hist.get(n_samples, 0) + 1
+            )
+            self._latencies.extend(latencies_s)
+            self._queued.extend(queued_s)
+            self._completions.append((now, len(latencies_s), n_samples))
+            for tenant in tenants:
+                self._tenant_completed[tenant] = (
+                    self._tenant_completed.get(tenant, 0) + 1
+                )
+            self._trim(now)
+
+    def observe_failed(self, tenants: List[str]) -> None:
+        with self._lock:
+            self.failed += len(tenants)
+            for tenant in tenants:
+                self._tenant_failed[tenant] = self._tenant_failed.get(tenant, 0) + 1
+
+    def observe_cancelled(self, tenant: str) -> None:
+        with self._lock:
+            self.cancelled += 1
+            self._tenant_cancelled[tenant] = (
+                self._tenant_cancelled.get(tenant, 0) + 1
+            )
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._completions and self._completions[0][0] < horizon:
+            self._completions.popleft()
+
+    # -- aggregation ---------------------------------------------------
+    def snapshot(self, queue_depth: int = 0, sessions=None) -> MetricsSnapshot:
+        """Aggregate a consistent snapshot.
+
+        ``sessions`` is an optional ``{tenant: ExecutionSession}`` map
+        (the server passes its own) feeding per-tenant energy rows.
+        """
+        now = time.monotonic()
+        with self._lock:
+            self._trim(now)
+            lat = np.asarray(self._latencies, dtype=np.float64)
+            queued = np.asarray(self._queued, dtype=np.float64)
+            window_requests = sum(r for _, r, _ in self._completions)
+            window_samples = sum(n for _, _, n in self._completions)
+            # Rate over the collector's actual horizon, not the gap to
+            # the first in-window completion: a lone recent completion
+            # in a sparse window must not read as hundreds of req/s.
+            span = min(self.window_s, max(now - self._born, 1e-9))
+            snapshot = MetricsSnapshot(
+                submitted=self.submitted,
+                completed=self.completed,
+                failed=self.failed,
+                cancelled=self.cancelled,
+                rejected=dict(self._rejected),
+                queue_depth=queue_depth,
+                batches=self.batches,
+                batch_size_hist=dict(self._batch_size_hist),
+                throughput_rps=window_requests / span,
+                throughput_sps=window_samples / span,
+                p50_latency_s=percentile(lat, 50),
+                p95_latency_s=percentile(lat, 95),
+                p99_latency_s=percentile(lat, 99),
+                mean_queued_s=float(queued.mean()) if queued.size else 0.0,
+            )
+            tenant_completed = dict(self._tenant_completed)
+            tenant_rejected = dict(self._tenant_rejected)
+            tenant_failed = dict(self._tenant_failed)
+            tenant_cancelled = dict(self._tenant_cancelled)
+        if sessions is not None:
+            seen = (
+                set(tenant_completed)
+                | set(tenant_rejected)
+                | set(tenant_failed)
+                | set(tenant_cancelled)
+            )
+            for tenant in sorted(seen):
+                session = sessions.get(tenant)
+                stats, _, samples = (
+                    session.snapshot() if session is not None else (None, 0, 0)
+                )
+                snapshot.tenants.append(
+                    TenantMetrics(
+                        tenant=tenant,
+                        completed=tenant_completed.get(tenant, 0),
+                        samples=samples,
+                        rejected=tenant_rejected.get(tenant, 0),
+                        failed=tenant_failed.get(tenant, 0),
+                        cancelled=tenant_cancelled.get(tenant, 0),
+                        energy_per_sample_fj=(
+                            stats.total_energy_fj / samples if samples else 0.0
+                        ),
+                        macs_per_sample=stats.macs / samples if samples else 0.0,
+                    )
+                )
+        return snapshot

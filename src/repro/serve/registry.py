@@ -1,0 +1,148 @@
+"""Named-model registry: compile once, serve under a stable name.
+
+The registry is the serving analogue of mask-time programming: a model
+is registered (compiled) once and every request afterwards only names
+it.  Registration routes through :func:`repro.runtime.compile` with a
+shared :class:`~repro.runtime.cache.EngineCache`, so re-registering the
+same weights — or registering them under a second name — reuses the
+programmed engines instead of rebuilding them.
+
+Registration and eviction are thread-safe and legal while the server is
+draining traffic: a :class:`CompiledModel` is immutable from the serve
+layer's point of view, so batches already executing keep the compiled
+image they resolved, while queued and new requests see the updated
+entry at execution time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import nn
+from repro.runtime import (
+    CompiledModel,
+    EngineCache,
+    RuntimeConfig,
+    compile_model,
+    resolve_cache,
+)
+
+
+class UnknownModelError(KeyError):
+    """Request names a model the registry does not hold."""
+
+
+@dataclass
+class RegisteredModel:
+    """One registry entry: the compiled image plus registration metadata."""
+
+    name: str
+    compiled: CompiledModel
+    registered_at: float
+    compile_ms: float
+    generation: int  # bumped on hot re-registration under the same name
+
+    @property
+    def n_weight_layers(self) -> int:
+        return self.compiled.n_weight_layers
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`CompiledModel` mapping.
+
+    ``cache`` defaults to the process-wide engine cache so independent
+    registries (and the functional paths) share programmed engines.
+    """
+
+    def __init__(self, cache: Optional[EngineCache] = None):
+        self.cache = resolve_cache(cache)
+        self._lock = threading.RLock()
+        self._entries: Dict[str, RegisteredModel] = {}
+
+    def register(
+        self,
+        name: str,
+        model: nn.Module,
+        config: Optional[RuntimeConfig] = None,
+        *,
+        replace: bool = False,
+    ) -> RegisteredModel:
+        """Compile ``model`` and serve it as ``name``.
+
+        Hot re-registration (``replace=True``) swaps the entry in one
+        assignment.  The server resolves the entry when a batch starts
+        executing, so batches already executing finish on the previous
+        generation, while queued and new requests run on the new one.
+        """
+        with self._lock:
+            previous = self._entries.get(name)
+            if previous is not None and not replace:
+                raise ValueError(
+                    f"model {name!r} is already registered; "
+                    f"pass replace=True to hot-swap it"
+                )
+        # Compile outside the lock: programming can be expensive and must
+        # not stall lookups from the serving hot path.
+        start = time.perf_counter()
+        compiled = compile_model(model, config, cache=self.cache)
+        compile_ms = (time.perf_counter() - start) * 1000.0
+        with self._lock:
+            previous = self._entries.get(name)
+            if previous is not None and not replace:
+                # A concurrent register won the name while we compiled;
+                # without replace the loser must not silently overwrite.
+                raise ValueError(
+                    f"model {name!r} is already registered; "
+                    f"pass replace=True to hot-swap it"
+                )
+            entry = RegisteredModel(
+                name=name,
+                compiled=compiled,
+                registered_at=time.time(),
+                compile_ms=compile_ms,
+                generation=(previous.generation + 1) if previous else 0,
+            )
+            self._entries[name] = entry
+            return entry
+
+    def evict(self, name: str) -> RegisteredModel:
+        """Drop ``name``; its engines stay in the LRU cache until evicted
+        there, so a prompt re-registration is cheap."""
+        with self._lock:
+            try:
+                return self._entries.pop(name)
+            except KeyError:
+                raise UnknownModelError(name) from None
+
+    def get(self, name: str) -> CompiledModel:
+        return self.entry(name).compiled
+
+    def entry(self, name: str) -> RegisteredModel:
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise UnknownModelError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def rows(self) -> List[Tuple]:
+        """``(name, layers, generation, compile_ms)`` per entry, for reports."""
+        with self._lock:
+            return [
+                (e.name, e.n_weight_layers, e.generation, round(e.compile_ms, 1))
+                for e in self._entries.values()
+            ]

@@ -270,6 +270,55 @@ class TestFunctionalShims:
         with pytest.raises(ValueError, match="unsigned"):
             engine.execute(RNG.normal(size=(4, 20)))
 
+    def test_concurrent_compiles_share_engines(self):
+        """N threads compiling the same model race the cache; every
+        compiled model must end up executing the same engine objects
+        (a racing loser discards its build and adopts the winner's)."""
+        import threading
+
+        cache = EngineCache()
+        model = tiny_chain()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        compiled_models = [None] * n_threads
+        errors = []
+
+        def compile_one(index):
+            try:
+                barrier.wait()
+                compiled_models[index] = compile_model(
+                    model, RuntimeConfig(), cache=cache
+                )
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=compile_one, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        engine_ids = [
+            {name: id(engine) for name, engine in c.programmed_engines().items()}
+            for c in compiled_models
+        ]
+        # Shared, not duplicated: one engine object per layer across all
+        # eight compiles, and the cache retains exactly those.
+        assert all(ids == engine_ids[0] for ids in engine_ids[1:])
+        assert len(cache) == compiled_models[0].n_weight_layers
+        # Raced builds may transiently program duplicates, but only the
+        # retained engine is ever handed out.
+        assert cache.stats.programmed >= compiled_models[0].n_weight_layers
+        # Everyone computes the same bits through the shared engines.
+        x = tiny_input()
+        expected, _ = compiled_models[0].run(x)
+        for compiled in compiled_models[1:]:
+            got, _ = compiled.run(x)
+            assert np.array_equal(expected, got)
+
 
 # ----------------------------------------------------------------------
 # Compiled model
