@@ -1,7 +1,8 @@
 """Benchmark-suite configuration.
 
 Each ``test_bench_*`` module regenerates one table or figure of the
-paper (see DESIGN.md's experiment index).  The pytest-benchmark fixture
+paper (the index is in ``src/repro/experiments/__init__.py``).  The
+pytest-benchmark fixture
 times the regeneration; the assertions check the reproduced *shape*
 (orderings and factor magnitudes), and the printed reports show the
 actual rows — run with ``pytest benchmarks/ --benchmark-only -s`` to see

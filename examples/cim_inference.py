@@ -10,7 +10,12 @@ classification accuracy is compared against the float model for several
 ADC resolutions.
 
 Run:  python examples/cim_inference.py
+
+Setting ``REPRO_EXAMPLE_SMOKE=1`` shrinks the budgets to a seconds-scale
+smoke run (used by ``tests/test_examples.py``).
 """
+
+import os
 
 import numpy as np
 
@@ -19,6 +24,10 @@ from repro.cim import AdcSpec, MacroConfig, cim_conv2d, cim_linear
 from repro.datasets import classification_suite
 from repro.nn.tensor import Tensor
 from repro.rebranch import TrainConfig, TransferTrainer
+
+
+#: REPRO_EXAMPLE_SMOKE=1 shrinks every budget to a seconds-scale run.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def build_and_train(splits):
@@ -33,7 +42,7 @@ def build_and_train(splits):
         nn.Flatten(),
         nn.Linear(48 * 4 * 4, splits.num_classes, rng=rng),
     )
-    TransferTrainer(model, TrainConfig(epochs=15, lr=2e-3)).fit(
+    TransferTrainer(model, TrainConfig(epochs=1 if SMOKE else 15, lr=2e-3)).fit(
         splits.x_train, splits.y_train
     )
     return model
@@ -64,7 +73,9 @@ def cim_forward(model, x: np.ndarray, config: MacroConfig, rng) -> np.ndarray:
 
 def main() -> None:
     suite = classification_suite(seed=0)
-    splits = suite.source_splits(n_train=400, n_test=200)
+    splits = suite.source_splits(
+        n_train=48 if SMOKE else 400, n_test=24 if SMOKE else 200
+    )
     model = build_and_train(splits)
     model.eval()
 
@@ -75,7 +86,7 @@ def main() -> None:
 
     x = splits.x_test
     print(f"\n{'ADC bits':>9} {'CiM accuracy':>13} {'fJ/MAC':>8} {'total uJ':>9}")
-    for bits in (8, 6, 5, 4, 3):
+    for bits in (5,) if SMOKE else (8, 6, 5, 4, 3):
         config = MacroConfig(adc=AdcSpec(bits=bits))
         logits, stats = cim_forward(model, x, config, np.random.default_rng(1))
         acc = (logits.argmax(1) == splits.y_test).mean()

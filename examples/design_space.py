@@ -10,7 +10,12 @@ matrix-vector products (the "number of ADCs vs activated rows" trade-off
 the paper flags for future work).
 
 Run:  python examples/design_space.py
+
+Setting ``REPRO_EXAMPLE_SMOKE=1`` shrinks the budgets to a seconds-scale
+smoke run (used by ``tests/test_examples.py``).
 """
+
+import os
 
 import numpy as np
 
@@ -18,10 +23,19 @@ from repro.cim import AdcSpec, CimTiledMatmul, MacroConfig
 from repro.experiments import fig11, table1
 from repro.experiments.common import format_table
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+
 
 def branch_sweep() -> None:
     print("=== Part 1: ReBranch D/U sweep (Fig. 11) ===")
     config = fig11.fast_config()
+    if SMOKE:
+        config.pretrain_epochs = 1
+        config.transfer_epochs = 1
+        config.n_train = 48
+        config.n_test = 32
+        config.ratio_sweep = ((4, 4),)
+        config.split_sweep = ((4, 4),)
     result = fig11.run(config)
     rows = [
         (f"D{p.d} x U{p.u}", p.du, p.accuracy, p.normalized_area, p.trainable_params)
@@ -38,11 +52,12 @@ def macro_design_space() -> None:
 
     print("\nADC resolution vs MVM fidelity (128-row subarrays):")
     rng = np.random.default_rng(0)
-    weights = rng.integers(-128, 128, size=(256, 32))
-    x = rng.integers(0, 256, size=(256, 16))
+    size = (128, 8) if SMOKE else (256, 32)
+    weights = rng.integers(-128, 128, size=size)
+    x = rng.integers(0, 256, size=(size[0], 4 if SMOKE else 16))
     exact = weights.T @ x
     rows = []
-    for bits in (4, 5, 6, 7, 8):
+    for bits in (5,) if SMOKE else (4, 5, 6, 7, 8):
         config = MacroConfig(adc=AdcSpec(bits=bits))
         engine = CimTiledMatmul(weights, config, rng=np.random.default_rng(1))
         approx, stats = engine.matmul(x)

@@ -11,7 +11,12 @@ chip area, per-inference energy with breakdown, latency, and the
 energy-efficiency improvement of YOLoC.
 
 Run:  python examples/detection_yoloc.py
+
+Setting ``REPRO_EXAMPLE_SMOKE=1`` shrinks the budgets to a seconds-scale
+smoke run (used by ``tests/test_examples.py``).
 """
+
+import os
 
 import numpy as np
 
@@ -28,22 +33,31 @@ from repro.datasets import detection_suite
 from repro.rebranch import apply_rebranch
 
 
+#: REPRO_EXAMPLE_SMOKE=1 shrinks every budget to a seconds-scale run.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+N_TRAIN = 16 if SMOKE else 128
+N_TEST = 8 if SMOKE else 64
+
+
 def detection_transfer() -> None:
     print("=== Part 1: detection transfer (scaled models) ===")
-    suite = detection_suite(seed=0, image_size=48)
+    suite = detection_suite(seed=0, image_size=32 if SMOKE else 48)
     source, target = suite["source"], suite["voc"]
 
     (imgs, boxes, labels), (t_imgs, t_boxes, t_labels) = sample_task(
-        source, n_train=128, n_test=64, seed=0
+        source, n_train=N_TRAIN, n_test=N_TEST, seed=0
     )
     detector = build_scaled_detector("yolo", source.config.num_classes,
                                      rng=np.random.default_rng(0))
-    train_detector(detector, imgs, boxes, labels, DetectionTrainConfig(epochs=10))
+    train_detector(
+        detector, imgs, boxes, labels,
+        DetectionTrainConfig(epochs=1 if SMOKE else 10),
+    )
     print(f"source mAP@0.5: {evaluate_map(detector, t_imgs, t_boxes, t_labels):.3f}")
     state = detector.state_dict()
 
     (imgs, boxes, labels), (t_imgs, t_boxes, t_labels) = sample_task(
-        target, n_train=128, n_test=64, seed=5
+        target, n_train=N_TRAIN, n_test=N_TEST, seed=5
     )
     for method in ("all-trainable (SRAM-CiM)", "rebranch (YOLoC)"):
         model = build_scaled_detector("yolo", target.config.num_classes,
@@ -52,7 +66,10 @@ def detection_transfer() -> None:
         if "rebranch" in method:
             apply_rebranch(model.backbone, d=4, u=4, skip_last=False,
                            rng=np.random.default_rng(2))
-        train_detector(model, imgs, boxes, labels, DetectionTrainConfig(epochs=8))
+        train_detector(
+            model, imgs, boxes, labels,
+            DetectionTrainConfig(epochs=1 if SMOKE else 8),
+        )
         trainable = sum(p.size for p in model.parameters() if p.requires_grad)
         print(
             f"{method:28s} mAP@0.5={evaluate_map(model, t_imgs, t_boxes, t_labels):.3f}"

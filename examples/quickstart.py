@@ -11,7 +11,12 @@ Walks the whole YOLoC story in about a minute on a laptop CPU:
    and the memory-area saving from the CiM area model.
 
 Run:  python examples/quickstart.py
+
+Setting ``REPRO_EXAMPLE_SMOKE=1`` shrinks the budgets to a seconds-scale
+smoke run (used by ``tests/test_examples.py``).
 """
+
+import os
 
 import numpy as np
 
@@ -28,6 +33,10 @@ from repro.rebranch import (
 )
 
 
+#: REPRO_EXAMPLE_SMOKE=1 shrinks every budget to a seconds-scale run.
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+
+
 def main() -> None:
     suite = classification_suite(seed=0)
 
@@ -36,15 +45,17 @@ def main() -> None:
         "vgg8",
         suite,
         width_mult=0.125,
-        train_config=TrainConfig(epochs=10, lr=2e-3, batch_size=64),
-        n_train=600,
-        n_test=300,
+        train_config=TrainConfig(epochs=1 if SMOKE else 10, lr=2e-3, batch_size=64),
+        n_train=64 if SMOKE else 600,
+        n_test=32 if SMOKE else 300,
     )
     print(f"source-task accuracy: {bundle.source_accuracy:.3f}")
 
     print("\n=== 2-3. Transfer to a shifted target task ===")
-    target = suite.target_splits("far", n_train=300, n_test=300)
-    train_cfg = TrainConfig(epochs=8, lr=2e-3, batch_size=64)
+    target = suite.target_splits(
+        "far", n_train=48 if SMOKE else 300, n_test=32 if SMOKE else 300
+    )
+    train_cfg = TrainConfig(epochs=1 if SMOKE else 8, lr=2e-3, batch_size=64)
 
     results = {}
     for name, policy in [

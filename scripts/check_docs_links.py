@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Check internal links in docs/ and the README.
+
+Scans markdown files for relative links (``[text](target)``) and fails
+when a target file or directory does not exist.  External links
+(http/https/mailto) are ignored — this is a fast, offline, structural
+check, not a crawler.  Anchors are stripped (``file.md#section`` checks
+``file.md``).
+
+Usage: python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links; deliberately simple — our docs do not use
+#: reference-style links or angle-bracket targets.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown():
+    yield REPO_ROOT / "README.md"
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = path.read_text()
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link "
+                    f"-> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = []
+    checked = 0
+    for path in iter_markdown():
+        if not path.exists():
+            problems.append(f"missing expected file: {path.relative_to(REPO_ROOT)}")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {checked} markdown files: all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

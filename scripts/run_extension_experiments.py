@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Regenerate the extension-study numbers at full budget.
 
-Writes ``results/extension_results.txt`` — the "Extension studies"
-numbers quoted in EXPERIMENTS.md come from this script.  (The numbered
+Writes ``results/extension_results.txt`` — the extension studies at
+full budget.  (The numbered
 paper figures regenerate via ``run_full_experiments.py``.)
 
 Run:  python scripts/run_extension_experiments.py

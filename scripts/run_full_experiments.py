@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Regenerate every paper table/figure at full budget.
 
-Writes a machine-readable summary to ``results/full_results.txt`` — the
-numbers quoted in EXPERIMENTS.md come from this script.
+Writes a machine-readable summary to ``results/full_results.txt`` —
+the full-budget counterpart of the fast configs the tests exercise.
 
 Run:  python scripts/run_full_experiments.py
 """

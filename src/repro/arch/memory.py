@@ -54,7 +54,7 @@ class DramSpec:
 
     ``energy_pj_per_bit`` covers device + channel + PHY; the calibrated
     default reproduces the relative weight-reload overheads of Fig. 14
-    (see EXPERIMENTS.md for the sensitivity discussion).
+    (the sensitivity sweep lives in benchmarks/test_bench_pipeline.py).
     """
 
     energy_pj_per_bit: float = 10.0

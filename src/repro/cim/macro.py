@@ -79,7 +79,16 @@ class MacroConfig:
 
 @dataclass
 class MacroStats:
-    """Cycle/energy accounting of macro activity."""
+    """Cycle/energy accounting of macro activity.
+
+    The ``link_*`` fields account inter-chiplet serial-link traffic when
+    a model is sharded across chiplets (``repro.runtime.sharded``): bits
+    moved, transfer energy, and transfer latency per
+    :class:`~repro.arch.chiplet.ChipletLinkSpec`.  They stay zero on any
+    single-chip execution path, and ``link_latency_ns`` is kept separate
+    from the macro-compute ``latency_ns`` so pipeline schedules can
+    overlap the two.
+    """
 
     cycles: int = 0
     adc_conversions: int = 0
@@ -90,6 +99,9 @@ class MacroStats:
     adc_energy_fj: float = 0.0
     peripheral_energy_fj: float = 0.0
     latency_ns: float = 0.0
+    link_bits: float = 0.0
+    link_energy_fj: float = 0.0
+    link_latency_ns: float = 0.0
 
     @property
     def total_energy_fj(self) -> float:
@@ -98,6 +110,7 @@ class MacroStats:
             + self.bitline_energy_fj
             + self.adc_energy_fj
             + self.peripheral_energy_fj
+            + self.link_energy_fj
         )
 
     @property
@@ -115,6 +128,9 @@ class MacroStats:
             adc_energy_fj=self.adc_energy_fj + other.adc_energy_fj,
             peripheral_energy_fj=self.peripheral_energy_fj + other.peripheral_energy_fj,
             latency_ns=self.latency_ns + other.latency_ns,
+            link_bits=self.link_bits + other.link_bits,
+            link_energy_fj=self.link_energy_fj + other.link_energy_fj,
+            link_latency_ns=self.link_latency_ns + other.link_latency_ns,
         )
 
 

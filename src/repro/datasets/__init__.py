@@ -10,7 +10,8 @@ features partially transfer) while classes, compositions, and global
 appearance statistics shift per task (so frozen features alone are not
 enough — the regime where ReBranch earns its keep).
 
-See DESIGN.md, substitution table, for the fidelity argument.
+See docs/architecture.md for where the synthetic suites substitute
+for the paper's datasets.
 """
 
 from repro.datasets.synthetic import SyntheticTaskConfig, SyntheticTask, MotifBank

@@ -3,7 +3,8 @@
 Every runner exposes ``run(config) -> result`` returning plain dicts /
 dataclasses that print the same rows or series the paper reports, plus a
 ``fast_config()`` (seconds, used by tests and CI benchmarks) and a
-``full_config()`` (minutes, used to regenerate EXPERIMENTS.md numbers).
+``full_config()`` (minutes, the paper-scale budget used by
+``scripts/run_full_experiments.py``).
 
 =============  ====================================================
 module         reproduces
@@ -28,6 +29,8 @@ module              implements
 ``related_work_quant``  sec. 2.3 sub-8-bit quantization claim
 ``options_study``   Options I-IV head-to-head (Fig. 6)
 ``ablations``       ADC bits, bit-line noise, packing, standby, init
+``runtime_study``   compile-once runtime amortization (serving/streaming)
+``shard_study``     sharded pipeline-parallel makespans on executed traffic
 ==================  ================================================
 """
 
@@ -45,6 +48,7 @@ from repro.experiments import (
     pipeline_study,
     related_work_quant,
     runtime_study,
+    shard_study,
     table1,
 )
 from repro.experiments.common import (
@@ -67,6 +71,7 @@ __all__ = [
     "pipeline_study",
     "related_work_quant",
     "runtime_study",
+    "shard_study",
     "table1",
     "PretrainedBundle",
     "pretrain_classifier",

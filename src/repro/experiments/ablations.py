@@ -1,4 +1,4 @@
-"""Ablation studies for the design choices DESIGN.md calls out.
+"""Ablation studies for design choices the paper's text argues about.
 
 Not figures from the paper, but the knobs its text argues about:
 

@@ -105,7 +105,7 @@ def transfer_and_evaluate(
 
 
 def format_table(rows, headers) -> str:
-    """Plain-text table used by the example scripts and EXPERIMENTS.md."""
+    """Plain-text table used by the example scripts and CLI reports."""
     widths = [len(h) for h in headers]
     text_rows = []
     for row in rows:

@@ -67,7 +67,7 @@ def fast_config() -> Fig10Config:
 
 
 def full_config() -> Fig10Config:
-    """The configuration used for the EXPERIMENTS.md numbers."""
+    """The paper-scale configuration (scripts/run_full_experiments.py)."""
     return Fig10Config()
 
 

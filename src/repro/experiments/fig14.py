@@ -37,7 +37,7 @@ BENCHMARKS: Tuple[Tuple[str, Tuple[int, int, int, int]], ...] = (
     ("yolo", (1, 3, 416, 416)),
 )
 
-#: The paper's improvement ratios for EXPERIMENTS.md comparison.
+#: The paper's improvement ratios, for side-by-side comparison.
 PAPER_IMPROVEMENTS = {"vgg8": 1.0, "resnet18": 4.8, "tiny_yolo": 10.2, "yolo": 14.8}
 
 

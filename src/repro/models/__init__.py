@@ -9,7 +9,7 @@ The four networks the paper evaluates (section 4.1):
 
 Every builder accepts ``width_mult`` so the same topology can be scaled
 down for numpy training while the full-size topology feeds the analytic
-area/energy models (see DESIGN.md substitution table).
+area/energy models (see docs/architecture.md).
 """
 
 from repro.models.common import ConvBNAct, conv_out_hw

@@ -15,6 +15,10 @@ software:
   macros; ``capacity=0`` reproduces the seed per-call behaviour.
 * :func:`reference_forward` — the seed per-call path kept as a bit-exact
   oracle and benchmark baseline.
+* :func:`shard` / :class:`ShardedModel` — partition a compiled plan
+  across simulated chiplets and execute micro-batch streams
+  pipeline-parallel, with inter-chiplet link energy/latency accounting
+  (``repro.runtime.sharded``).
 
 The consuming layers sit on top: ``repro.cim.deploy`` wraps
 :class:`CompiledModel`, the functional ``repro.cim.cim_linear`` /
@@ -53,9 +57,25 @@ from repro.runtime.compiled import (
     compile,
     compile_model,
 )
+from repro.runtime.sharded import (
+    ShardedModel,
+    ShardPlan,
+    ShardSegment,
+    StreamResult,
+    plan_shards,
+    shard,
+    stream_rng,
+)
 from repro.runtime.reference import reference_forward
 
 __all__ = [
+    "ShardedModel",
+    "ShardPlan",
+    "ShardSegment",
+    "StreamResult",
+    "plan_shards",
+    "shard",
+    "stream_rng",
     "CacheStats",
     "EngineCache",
     "EngineKey",

@@ -51,13 +51,36 @@ _USE_DEFAULT = object()
 class RuntimeConfig:
     """Programming-time options of :func:`compile`.
 
-    ``assume_signed_input`` is the compile-time prediction for the model
-    input's sign; every layer after an unsigned activation (ReLU,
-    Sigmoid) is predicted unsigned, matching the chip's mixed
-    configuration.  Execution still detects the actual sign per batch
-    and programs the other variant through the cache if a batch defies
-    the prediction, so the prediction affects only what is programmed
-    eagerly.
+    Fields
+    ------
+    ``rom_config``
+        :class:`~repro.cim.macro.MacroConfig` programmed for frozen
+        (ROM-resident) weight layers; ``None`` selects the default
+        ``MacroConfig(cell=ROM_1T)``.
+    ``sram_config``
+        Macro configuration for trainable (SRAM-resident) layers;
+        ``None`` selects the default ``MacroConfig(cell=SRAM_CIM_6T)``.
+    ``activation_bits``
+        Uniform quantization width of every activation batch entering a
+        weight layer.  Quantization scales are *batch-global* (seed
+        semantics — see docs/numerics.md), and this is also the payload
+        width per element charged when activations cross an
+        inter-chiplet link in a sharded deployment.
+    ``encoding``
+        Default word-line :class:`~repro.cim.encoding.ActivationEncoding`
+        applied at execution time to layers with non-negative inputs;
+        ``None`` means plain bit-serial streaming.  Overridable per run.
+    ``fold_bn``
+        Fold ``BatchNorm2d`` layers into their preceding convolutions at
+        compile time (mutates the module tree once, like chip mask
+        preparation).
+    ``assume_signed_input``
+        Compile-time prediction for the model input's sign; every layer
+        after an unsigned activation (ReLU, Sigmoid) is predicted
+        unsigned, matching the chip's mixed configuration.  Execution
+        still detects the actual sign per batch and programs the other
+        variant through the cache if a batch defies the prediction, so
+        the prediction affects only what is programmed eagerly.
     """
 
     rom_config: Optional[MacroConfig] = None
@@ -531,13 +554,24 @@ def compile(
     *,
     rng: Optional[np.random.Generator] = None,
     cache: Optional[EngineCache] = None,
-) -> CompiledModel:
+    shards: Optional[int] = None,
+    link: Optional[Any] = None,
+    shard_input_shape: Optional[Tuple[int, ...]] = None,
+):
     """Program ``model``'s macros once; returns the executable image.
 
     ``cache`` defaults to the process-wide engine cache, so compiling
     the same weights twice (or from two sessions) programs each layer's
     macros exactly once.  ``rng`` seeds the default execution-time noise
     stream (only consumed when the bit line is noisy).
+
+    ``shards`` (when given, >= 1) partitions the compiled plan across
+    that many simulated chiplets and returns a
+    :class:`~repro.runtime.sharded.ShardedModel` instead — equivalent to
+    ``sharded.shard(compile(model, config), shards)``; ``shards=1``
+    yields a single-shard model (the serial baseline of a sweep, free
+    of link crossings).  ``link`` overrides the inter-chiplet link spec
+    and ``shard_input_shape`` enables the MAC-balanced layer cut.
     """
     config = config if config is not None else RuntimeConfig()
     cache = resolve_cache(cache)
@@ -551,7 +585,12 @@ def compile(
         builder.rom_config.weight_bits,
         builder.sram_config.weight_bits,
     )
-    return CompiledModel(model, config, steps, builder.slots, report, cache, rng)
+    compiled = CompiledModel(model, config, steps, builder.slots, report, cache, rng)
+    if shards is None:
+        return compiled
+    from repro.runtime.sharded import shard as _shard
+
+    return _shard(compiled, shards, link=link, input_shape=shard_input_shape)
 
 
 #: Alias for callers that shadow the builtin ``compile``.

@@ -1,0 +1,592 @@
+"""Sharded pipeline-parallel execution across simulated chiplets.
+
+The paper's chiplet baseline (Fig. 13c) spreads a model over several
+dies connected by SIMBA-style serial links; section 4.3.3 analyses the
+latency such an assembly recovers through pipelining.  Until now both
+existed only as analytical models (``arch/chiplet.py``,
+``arch/pipeline.py``) while the runtime executed every model on one
+monolithic engine stack.  This module closes that gap:
+
+* :func:`plan_shards` cuts a :class:`~repro.runtime.CompiledModel`'s
+  step plan into ``n`` contiguous segments — a balanced layer-cut over
+  per-step weight bits and compute cost (MACs from
+  :mod:`repro.models.profile` when an input shape is known).
+* :class:`ShardedModel` executes that plan.  :meth:`ShardedModel.run`
+  streams one batch through all shards in order (bitwise identical to
+  the unsharded model — see below); :meth:`ShardedModel.run_stream`
+  executes a sequence of micro-batches *pipeline-parallel*: one worker
+  thread per shard, bounded inter-shard queues, shard ``k`` working on
+  micro-batch ``i`` while shard ``k-1`` works on micro-batch ``i+1``.
+* Every activation tensor crossing a shard boundary is charged transfer
+  energy and latency on a :class:`~repro.arch.chiplet.ChipletLinkSpec`
+  (SIMBA's 1.17 pJ/bit serial link by default), folded into the
+  ``link_*`` fields of :class:`~repro.cim.macro.MacroStats` and from
+  there into :class:`~repro.runtime.ExecutionSession` accounting.
+
+Numerics contract (docs/numerics.md): sharding cuts the *plan*, never a
+batch — each micro-batch traverses every shard whole, so batch-global
+activation quantization sees exactly the tensors it would see
+unsharded.  ``shard(compiled, n).run(batch)`` applies the same step
+objects in the same order with the same RNG stream as
+``compiled.run(batch)`` and is therefore bitwise identical to it; the
+shards only add ``link_*`` accounting.  In :meth:`run_stream` each
+micro-batch owns an RNG derived by :func:`stream_rng`, so a pipelined
+stream replays bitwise against per-batch unsharded runs seeded the same
+way.
+
+Wall-clock speedup from the worker threads depends on host cores; the
+*simulated* speedup reported by :class:`StreamResult` is computed from
+the measured per-stage macro latencies of the really-executed traffic
+and is therefore machine-independent — that is the serial-vs-pipelined
+makespan comparison ``benchmarks/test_bench_shard.py`` pins.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.chiplet import ChipletLinkSpec, SIMBA_LINK
+from repro.cim.macro import MacroStats
+from repro.runtime.compiled import (
+    _USE_DEFAULT,
+    _ConvStep,
+    _LinearStep,
+    _RebranchStep,
+    _RunState,
+    CompiledModel,
+)
+from repro.runtime.session import ExecutionSession
+
+
+def stream_rng(seed: int, index: int) -> np.random.Generator:
+    """The RNG micro-batch ``index`` owns in a seeded pipelined stream.
+
+    Deterministic per (seed, index), so an unsharded replay of one
+    micro-batch — ``compiled.run(batch, rng=stream_rng(seed, i))`` —
+    draws the same noise stream the pipelined execution drew for it.
+    """
+    return np.random.default_rng([int(seed), int(index)])
+
+
+def _step_slots(step: Any) -> List[Any]:
+    """Engine slots a plan step owns (empty for pure function steps)."""
+    if isinstance(step, (_ConvStep, _LinearStep)):
+        return [step.slot]
+    if isinstance(step, _RebranchStep):
+        return [
+            sub.slot
+            for sub in (step.trunk, step.compress, step.res_conv, step.decompress)
+        ]
+    return []
+
+
+@dataclass(frozen=True)
+class ShardSegment:
+    """One shard's contiguous slice of the compiled step plan."""
+
+    index: int
+    step_indices: Tuple[int, ...]
+    layer_ids: Tuple[str, ...]
+    weight_bits: float
+    macs: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A balanced contiguous partition of a compiled model's plan.
+
+    Segments cover every step exactly once, in order; each segment is
+    anchored on at least one weight layer (pure activation / pooling /
+    reshape steps ride with the weight layer that feeds them).
+    """
+
+    n_shards: int
+    segments: Tuple[ShardSegment, ...]
+
+    @property
+    def total_weight_bits(self) -> float:
+        return sum(s.weight_bits for s in self.segments)
+
+    @property
+    def total_macs(self) -> float:
+        return sum(s.macs for s in self.segments)
+
+    @property
+    def balance(self) -> float:
+        """Max segment cost over mean segment cost (1.0 = perfect)."""
+        costs = [s.cost for s in self.segments]
+        mean = sum(costs) / len(costs) if costs else 0.0
+        return max(costs) / mean if mean else 1.0
+
+    def describe(self) -> str:
+        lines = []
+        for seg in self.segments:
+            lines.append(
+                f"shard {seg.index}: {len(seg.step_indices)} steps, "
+                f"{seg.weight_bits / 8 / 1024:.1f} KiB weights, "
+                f"{seg.macs / 1e6:.2f} MMACs "
+                f"[{', '.join(seg.layer_ids) or 'no weight layers'}]"
+            )
+        return "\n".join(lines)
+
+
+def _blocks_of(steps: Sequence[Any]) -> List[List[int]]:
+    """Group step indices into cuttable blocks.
+
+    A new block opens at every weight-bearing step; pure steps join the
+    block of the weight layer that produced their input.  A leading run
+    of pure steps (before any weights) merges into the first weight
+    block, so every block is anchored on a weight layer.
+    """
+    blocks: List[List[int]] = []
+    for i, step in enumerate(steps):
+        if _step_slots(step) or not blocks:
+            blocks.append([i])
+        else:
+            blocks[-1].append(i)
+    if len(blocks) > 1 and not any(_step_slots(steps[i]) for i in blocks[0]):
+        blocks[1] = blocks[0] + blocks[1]
+        del blocks[0]
+    return blocks
+
+
+def _balanced_cuts(costs: Sequence[float], n: int) -> List[int]:
+    """Linear-partition DP: split ``costs`` into ``n`` contiguous runs
+    minimizing the maximum run cost.  Returns run lengths."""
+    b = len(costs)
+    prefix = [0.0]
+    for c in costs:
+        prefix.append(prefix[-1] + c)
+    span = lambda i, j: prefix[j] - prefix[i]  # noqa: E731
+    # best[k][j]: minimal max-run-cost splitting costs[:j] into k runs.
+    inf = float("inf")
+    best = [[inf] * (b + 1) for _ in range(n + 1)]
+    cut = [[0] * (b + 1) for _ in range(n + 1)]
+    best[0][0] = 0.0
+    for k in range(1, n + 1):
+        for j in range(k, b - (n - k) + 1):
+            for i in range(k - 1, j):
+                if best[k - 1][i] == inf:
+                    continue
+                candidate = max(best[k - 1][i], span(i, j))
+                if candidate < best[k][j]:
+                    best[k][j] = candidate
+                    cut[k][j] = i
+    lengths: List[int] = []
+    j = b
+    for k in range(n, 0, -1):
+        i = cut[k][j]
+        lengths.append(j - i)
+        j = i
+    lengths.reverse()
+    return lengths
+
+
+def plan_shards(
+    compiled: CompiledModel,
+    n_shards: int,
+    *,
+    input_shape: Optional[Tuple[int, ...]] = None,
+) -> ShardPlan:
+    """Balanced contiguous layer-cut of ``compiled``'s plan.
+
+    The cut cost of a block is its MAC count from the analytic profile
+    when ``input_shape`` is given (compute-balanced pipeline stages —
+    the quantity that sets stage latency); otherwise its programmed
+    weight bits (capacity-balanced, the only cost known without a
+    dataflow shape).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    steps = compiled._steps
+    blocks = _blocks_of(steps)
+    if n_shards > len(blocks):
+        raise ValueError(
+            f"cannot cut {n_shards} shards: the plan has only "
+            f"{len(blocks)} weight-anchored blocks"
+        )
+
+    macs_by_layer: Dict[str, float] = {}
+    if input_shape is not None:
+        profile = compiled.profile(input_shape)
+        for layer in profile.weight_layers():
+            macs_by_layer[layer.name] = float(layer.macs)
+
+    block_bits: List[float] = []
+    block_macs: List[float] = []
+    for block in blocks:
+        bits = 0.0
+        macs = 0.0
+        for i in block:
+            for slot in _step_slots(steps[i]):
+                bits += float(slot.weight_fn().size * slot.config_fn().weight_bits)
+                macs += macs_by_layer.get(slot.layer_id, 0.0)
+        block_bits.append(bits)
+        block_macs.append(macs)
+    use_macs = sum(block_macs) > 0
+    costs = block_macs if use_macs else block_bits
+
+    lengths = _balanced_cuts(costs, n_shards)
+    segments: List[ShardSegment] = []
+    start = 0
+    for index, length in enumerate(lengths):
+        run = blocks[start : start + length]
+        step_indices = tuple(i for block in run for i in block)
+        layer_ids = tuple(
+            slot.layer_id for i in step_indices for slot in _step_slots(steps[i])
+        )
+        segments.append(
+            ShardSegment(
+                index=index,
+                step_indices=step_indices,
+                layer_ids=layer_ids,
+                weight_bits=sum(block_bits[start + k] for k in range(length)),
+                macs=sum(block_macs[start + k] for k in range(length)),
+                cost=sum(costs[start + k] for k in range(length)),
+            )
+        )
+        start += length
+    return ShardPlan(n_shards=n_shards, segments=tuple(segments))
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one pipelined micro-batch stream.
+
+    ``compute_ns[i][s]`` is the *simulated* macro latency micro-batch
+    ``i`` spent on shard ``s`` (measured from the really-executed
+    traffic's :class:`MacroStats`); ``link_ns[i][s]`` the serial-link
+    transfer latency leaving shard ``s``.  The makespans are derived
+    from those measurements, so they are machine-independent even
+    though the execution itself ran on host threads.
+    """
+
+    outputs: List[np.ndarray]
+    per_batch: List[MacroStats]
+    stats: MacroStats
+    compute_ns: np.ndarray  # (n_batches, n_shards)
+    link_ns: np.ndarray  # (n_batches, max(n_shards - 1, 0))
+    wall_s: float
+    n_shards: int
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def serial_makespan_ns(self) -> float:
+        """Monolithic single-chip baseline: all compute, no links, no
+        overlap — what a single-shard serial run of the stream takes."""
+        return float(self.compute_ns.sum())
+
+    @property
+    def sharded_serial_makespan_ns(self) -> float:
+        """The same shards run one micro-batch at a time (no pipeline
+        overlap): compute plus every link crossing, serially."""
+        return float(self.compute_ns.sum() + self.link_ns.sum())
+
+    @property
+    def pipelined_makespan_ns(self) -> float:
+        """Pipeline-parallel makespan: shard ``s`` starts micro-batch
+        ``i`` once the batch arrived over the link *and* the shard
+        finished micro-batch ``i - 1``."""
+        n_batches, n_shards = self.compute_ns.shape
+        finish = np.zeros((n_batches, n_shards))
+        for i in range(n_batches):
+            for s in range(n_shards):
+                arrived = (
+                    finish[i, s - 1] + self.link_ns[i, s - 1] if s else 0.0
+                )
+                free = finish[i - 1, s] if i else 0.0
+                finish[i, s] = max(arrived, free) + self.compute_ns[i, s]
+        return float(finish[-1, -1]) if n_batches else 0.0
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Simulated throughput gain of pipelining over the monolithic
+        serial execution of the same stream."""
+        pipelined = self.pipelined_makespan_ns
+        return self.serial_makespan_ns / pipelined if pipelined else 1.0
+
+    @property
+    def link_energy_fj(self) -> float:
+        return self.stats.link_energy_fj
+
+
+class _StreamItem:
+    __slots__ = ("index", "x", "state", "compute_ns", "link_ns")
+
+    def __init__(self, index: int, x: np.ndarray, state: _RunState, n_shards: int):
+        self.index = index
+        self.x = x
+        self.state = state
+        self.compute_ns = np.zeros(n_shards)
+        self.link_ns = np.zeros(max(n_shards - 1, 0))
+
+
+class ShardedModel:
+    """A compiled model partitioned across simulated chiplet shards.
+
+    Obtain one through :func:`shard` (or ``runtime.compile(...,
+    shards=n)``).  The shards reference the *same* programmed engines as
+    the underlying :class:`CompiledModel` — sharding cuts the execution
+    plan, it never reprograms or duplicates macros.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        plan: ShardPlan,
+        link: Optional[ChipletLinkSpec] = None,
+    ):
+        self.compiled = compiled
+        self.plan = plan
+        self.link = link if link is not None else SIMBA_LINK
+        steps = compiled._steps
+        self._stages: List[List[Any]] = [
+            [steps[i] for i in segment.step_indices] for segment in plan.segments
+        ]
+
+    # -- delegation (duck-compatible with CompiledModel) ---------------
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    @property
+    def model(self):
+        return self.compiled.model
+
+    @property
+    def config(self):
+        return self.compiled.config
+
+    @property
+    def report(self):
+        return self.compiled.report
+
+    @property
+    def n_weight_layers(self) -> int:
+        return self.compiled.n_weight_layers
+
+    def new_session(self) -> ExecutionSession:
+        return ExecutionSession()
+
+    def ensure_fresh(self) -> int:
+        return self.compiled.ensure_fresh()
+
+    def profile(self, input_shape: Tuple[int, ...]):
+        return self.compiled.profile(input_shape)
+
+    # -- link accounting -----------------------------------------------
+    def _transfer_stats(self, x: np.ndarray) -> MacroStats:
+        """Stats of one activation tensor crossing one shard boundary.
+
+        Quantized activations cross the serial link, so the payload is
+        ``activation_bits`` per element (the same convention the
+        analytical chiplet assembly uses), not host-float width.
+        """
+        bits = float(x.size) * self.compiled.config.activation_bits
+        return MacroStats(
+            link_bits=bits,
+            link_energy_fj=self.link.transfer_energy_pj(bits) * 1e3,
+            link_latency_ns=self.link.transfer_time_ns(bits),
+        )
+
+    # -- serial execution ----------------------------------------------
+    def run(
+        self,
+        batch: np.ndarray,
+        *,
+        encoding: Any = _USE_DEFAULT,
+        rng: Optional[np.random.Generator] = None,
+        session: Optional[ExecutionSession] = None,
+    ) -> Tuple[np.ndarray, MacroStats]:
+        """Stream one batch through all shards, in plan order.
+
+        Bitwise identical to ``self.compiled.run(batch, ...)``: the same
+        step objects execute in the same order against the same RNG
+        stream; shard boundaries only add ``link_*`` accounting to the
+        returned stats.
+        """
+        state = _RunState(
+            rng=rng if rng is not None else self.compiled._rng,
+            encoding=(
+                self.compiled.config.encoding
+                if encoding is _USE_DEFAULT
+                else encoding
+            ),
+        )
+        x = np.asarray(batch, dtype=np.float64)
+        n_samples = x.shape[0] if x.ndim else 1
+        last = len(self._stages) - 1
+        for s, stage in enumerate(self._stages):
+            for step in stage:
+                x = step.apply(x, state)
+            if s < last:
+                state.stats = state.stats + self._transfer_stats(x)
+        if session is not None:
+            session.record(state.stats, samples=n_samples)
+        return x, state.stats
+
+    # -- pipelined execution -------------------------------------------
+    def run_stream(
+        self,
+        batches: Sequence[np.ndarray],
+        *,
+        seed: int = 0,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        encoding: Any = _USE_DEFAULT,
+        session: Optional[ExecutionSession] = None,
+        queue_depth: int = 2,
+    ) -> StreamResult:
+        """Execute micro-batches pipeline-parallel across the shards.
+
+        One worker thread per shard, connected by bounded queues of
+        ``queue_depth`` micro-batches (backpressure: a fast early shard
+        cannot run unboundedly ahead of a slow late one).  Each
+        micro-batch owns its RNG — ``rngs[i]`` when given, else
+        :func:`stream_rng` ``(seed, i)`` — so outputs are bitwise
+        identical to per-batch unsharded runs with the same generators,
+        and never depend on thread interleaving.
+
+        Shards never split a micro-batch: batch-global quantization
+        steps see whole batches, exactly as unsharded (the numerics
+        contract in docs/numerics.md).
+        """
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if rngs is not None and len(rngs) != len(batches):
+            raise ValueError(
+                f"{len(rngs)} rngs for {len(batches)} micro-batches"
+            )
+        n_shards = len(self._stages)
+        resolved_encoding = (
+            self.compiled.config.encoding if encoding is _USE_DEFAULT else encoding
+        )
+        items: List[_StreamItem] = []
+        for i, batch in enumerate(batches):
+            rng = rngs[i] if rngs is not None else stream_rng(seed, i)
+            items.append(
+                _StreamItem(
+                    i,
+                    np.asarray(batch, dtype=np.float64),
+                    _RunState(rng=rng, encoding=resolved_encoding),
+                    n_shards,
+                )
+            )
+
+        queues: List["queue.Queue"] = [
+            queue.Queue(maxsize=queue_depth) for _ in range(n_shards + 1)
+        ]
+        errors: List[BaseException] = []
+        last = n_shards - 1
+
+        def worker(s: int) -> None:
+            stage = self._stages[s]
+            inbox, outbox = queues[s], queues[s + 1]
+            while True:
+                item = inbox.get()
+                if item is None:
+                    outbox.put(None)
+                    return
+                if errors:
+                    continue  # drain the pipe; the stream already failed
+                try:
+                    before = item.state.stats.latency_ns
+                    for step in stage:
+                        item.x = step.apply(item.x, item.state)
+                    item.compute_ns[s] = item.state.stats.latency_ns - before
+                    if s < last:
+                        transfer = self._transfer_stats(item.x)
+                        item.state.stats = item.state.stats + transfer
+                        item.link_ns[s] = transfer.link_latency_ns
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    errors.append(error)
+                    continue
+                outbox.put(item)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,), name=f"shard-{s}", daemon=True)
+            for s in range(n_shards)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+
+        done: List[_StreamItem] = []
+
+        def collect() -> None:
+            while True:
+                item = queues[n_shards].get()
+                if item is None:
+                    return
+                done.append(item)
+
+        collector = threading.Thread(target=collect, name="shard-collect", daemon=True)
+        collector.start()
+        for item in items:
+            queues[0].put(item)
+        queues[0].put(None)
+        collector.join()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        done.sort(key=lambda item: item.index)
+        total = MacroStats()
+        per_batch: List[MacroStats] = []
+        for item in done:
+            per_batch.append(item.state.stats)
+            total = total + item.state.stats
+            if session is not None:
+                samples = item.x.shape[0] if item.x.ndim else 1
+                session.record(item.state.stats, samples=samples)
+        return StreamResult(
+            outputs=[item.x for item in done],
+            per_batch=per_batch,
+            stats=total,
+            compute_ns=np.stack([item.compute_ns for item in done])
+            if done
+            else np.zeros((0, n_shards)),
+            link_ns=np.stack([item.link_ns for item in done])
+            if done
+            else np.zeros((0, max(n_shards - 1, 0))),
+            wall_s=wall_s,
+            n_shards=n_shards,
+        )
+
+
+def shard(
+    compiled: CompiledModel,
+    n_shards: int,
+    *,
+    link: Optional[ChipletLinkSpec] = None,
+    input_shape: Optional[Tuple[int, ...]] = None,
+    plan: Optional[ShardPlan] = None,
+) -> ShardedModel:
+    """Partition ``compiled`` across ``n_shards`` simulated chiplets.
+
+    ``input_shape`` (when known) switches the layer-cut from
+    weight-bit balance to MAC balance — the right cost for pipeline
+    stage latency.  ``plan`` overrides the automatic cut entirely.
+    Re-sharding a :class:`ShardedModel` re-cuts the underlying compiled
+    model; engines are shared either way.
+    """
+    if isinstance(compiled, ShardedModel):
+        compiled = compiled.compiled
+    if plan is None:
+        plan = plan_shards(compiled, n_shards, input_shape=input_shape)
+    elif plan.n_shards != n_shards:
+        raise ValueError(
+            f"plan has {plan.n_shards} shards but n_shards={n_shards}"
+        )
+    return ShardedModel(compiled, plan, link=link)

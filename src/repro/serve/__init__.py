@@ -9,7 +9,9 @@ them into efficient batched execution on compiled models:
 
 * :class:`ModelRegistry` — compile-and-cache named models (sharing the
   runtime's :class:`~repro.runtime.EngineCache`), hot registration,
-  hot swap, eviction.
+  hot swap, eviction; ``register(..., shards=n)`` serves a
+  chiplet-sharded deployment (:mod:`repro.runtime.sharded`) with link
+  energy folded into tenant accounting.
 * :class:`BatchPolicy` / :class:`RequestQueue` — bounded admission
   (typed rejects for backpressure), per-tenant round-robin fairness,
   and dynamic micro-batching under ``max_batch_size`` / ``max_wait_s``.

@@ -44,6 +44,9 @@ def fraction_of_stats(stats: MacroStats, numerator: int, denominator: int) -> Ma
         adc_energy_fj=stats.adc_energy_fj * f,
         peripheral_energy_fj=stats.peripheral_energy_fj * f,
         latency_ns=stats.latency_ns,  # the batch's critical path is shared
+        link_bits=stats.link_bits * f,
+        link_energy_fj=stats.link_energy_fj * f,
+        link_latency_ns=stats.link_latency_ns,  # shared, like the compute path
     )
 
 

@@ -26,8 +26,10 @@ from repro.runtime import (
     CompiledModel,
     EngineCache,
     RuntimeConfig,
+    ShardedModel,
     compile_model,
     resolve_cache,
+    shard as shard_compiled,
 )
 
 
@@ -37,7 +39,12 @@ class UnknownModelError(KeyError):
 
 @dataclass
 class RegisteredModel:
-    """One registry entry: the compiled image plus registration metadata."""
+    """One registry entry: the compiled image plus registration metadata.
+
+    ``compiled`` is a :class:`~repro.runtime.CompiledModel` or, for a
+    sharded deployment, a :class:`~repro.runtime.ShardedModel` — the
+    server only needs the shared ``run(batch, rng=...)`` surface.
+    """
 
     name: str
     compiled: CompiledModel
@@ -48,6 +55,15 @@ class RegisteredModel:
     @property
     def n_weight_layers(self) -> int:
         return self.compiled.n_weight_layers
+
+    @property
+    def n_shards(self) -> int:
+        """Chiplet shards of the deployment (1 for a monolithic image)."""
+        return (
+            self.compiled.n_shards
+            if isinstance(self.compiled, ShardedModel)
+            else 1
+        )
 
 
 class ModelRegistry:
@@ -69,6 +85,9 @@ class ModelRegistry:
         config: Optional[RuntimeConfig] = None,
         *,
         replace: bool = False,
+        shards: Optional[int] = None,
+        link=None,
+        shard_input_shape=None,
     ) -> RegisteredModel:
         """Compile ``model`` and serve it as ``name``.
 
@@ -76,6 +95,15 @@ class ModelRegistry:
         assignment.  The server resolves the entry when a batch starts
         executing, so batches already executing finish on the previous
         generation, while queued and new requests run on the new one.
+
+        ``shards`` (when given, >= 1) registers a sharded deployment:
+        the compiled plan is partitioned across that many simulated
+        chiplets (optionally over ``link`` / balanced for
+        ``shard_input_shape``), and every executed batch crosses the
+        shard boundaries with link energy charged into the tenants'
+        sessions (``shards=1``: a single-shard deployment, no
+        crossings).  Numerics are unchanged — a sharded run is bitwise
+        identical to the monolithic one.
         """
         with self._lock:
             previous = self._entries.get(name)
@@ -88,6 +116,10 @@ class ModelRegistry:
         # not stall lookups from the serving hot path.
         start = time.perf_counter()
         compiled = compile_model(model, config, cache=self.cache)
+        if shards is not None:
+            compiled = shard_compiled(
+                compiled, shards, link=link, input_shape=shard_input_shape
+            )
         compile_ms = (time.perf_counter() - start) * 1000.0
         with self._lock:
             previous = self._entries.get(name)

@@ -37,10 +37,31 @@ from repro.serve.requests import InferenceRequest
 class BatchPolicy:
     """Coalescing and admission-control policy of one server.
 
-    ``max_batch_size`` and ``max_queue_depth`` count *samples* (a
-    multi-sample request occupies its ``x.shape[0]``), so the policy
-    bounds actual work, not request objects.  ``max_batch_size=1``
-    disables coalescing — the per-request baseline regime.
+    Sample-counting: ``max_batch_size`` and ``max_queue_depth`` count
+    *samples* (a multi-sample request occupies its ``x.shape[0]``), so
+    the policy bounds actual work, not request objects.
+
+    Fields
+    ------
+    ``max_batch_size``
+        Close a model's batch as soon as this many samples are pending
+        for it.  ``1`` disables coalescing — the per-request baseline
+        regime, which also pins per-request numerics exactly (see
+        docs/numerics.md).  A single request larger than the budget
+        still executes, alone.
+    ``max_wait_s``
+        Latency bound on batching: a batch also closes once its oldest
+        request has waited this long, whatever has arrived by then.
+        ``0`` releases immediately (batching only coalesces what is
+        simultaneously pending).
+    ``max_queue_depth``
+        Bounded admission across all models, in samples.  A full queue
+        refuses with ``REJECTED_QUEUE_FULL`` (typed backpressure), never
+        buffers without bound.
+    ``max_pending_per_tenant``
+        Optional per-tenant admission cap, in samples
+        (``REJECTED_TENANT_LIMIT``): one tenant cannot occupy the whole
+        queue.  ``None`` disables the cap.
     """
 
     max_batch_size: int = 16

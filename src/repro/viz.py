@@ -3,7 +3,7 @@
 The offline environment has no matplotlib, so the experiment runners
 render their results as unicode bar charts and line plots.  These are
 deliberately simple — fixed-width, no colour — but they make the
-regenerated figures *look like figures* in CI logs and EXPERIMENTS.md.
+regenerated figures *look like figures* in CI logs and reports.
 """
 
 from __future__ import annotations

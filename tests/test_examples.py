@@ -1,0 +1,55 @@
+"""Smoke tests for every ``examples/*.py`` entry point.
+
+The examples are the documentation's executable surface (docs/ and the
+README link straight into them), so each one runs end-to-end here under
+``REPRO_EXAMPLE_SMOKE=1`` — the seconds-scale budget the heavy examples
+honour — and must exit cleanly.  A new example is picked up
+automatically by the glob; if it trains anything, it must implement the
+smoke hook to stay inside the per-example time box.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Per-example wall-clock box.  Generous against slow CI hosts; the
+#: smoke budgets themselves aim for seconds.
+TIMEOUT_S = 300
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 10, "examples/ directory went missing or empty"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(example):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+    assert proc.returncode == 0, (
+        f"{example.name} failed (rc={proc.returncode})\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    # Every example narrates what it shows; silence means it rotted.
+    assert proc.stdout.strip(), f"{example.name} produced no output"

@@ -2,7 +2,7 @@
 
 These use the fast configurations — seconds per runner — and assert the
 *qualitative* claims (who wins, orderings, factor magnitudes), which is
-the reproduction contract (see EXPERIMENTS.md).
+the reproduction contract.
 """
 
 import numpy as np
@@ -92,7 +92,7 @@ class TestFig10Fast:
 
     def test_rebranch_recovers_most_of_the_gap(self, result):
         # ReBranch must close at least half the All-ROM -> All-SRAM gap
-        # (at full budget it closes nearly all of it; see EXPERIMENTS.md).
+        # (at full budget it closes nearly all of it).
         table = result.accuracy_table()["vgg8"]["near"]
         gap = table["all_sram"] - table["all_rom"]
         assert table["rebranch"] >= table["all_rom"] + 0.5 * gap
