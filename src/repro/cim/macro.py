@@ -233,6 +233,28 @@ class CimMacro:
         self._weight_planes = planes  # (wb, rows, cols)
         self._plane_weights = plane_weights
 
+    @property
+    def _weight_planes(self) -> np.ndarray:
+        """The programmed weight bit planes, ``(wb, rows, cols)`` in {0, 1}.
+
+        Computed eagerly by :meth:`_store`; a macro restored from a
+        snapshot (``repro.runtime.snapshot``) arrives without them and
+        derives them from ``self.weights`` on first access — the exact
+        :func:`_bit_planes` computation, so the lazily derived planes
+        are bitwise identical to the eagerly stored ones.
+        """
+        planes = self.__dict__.get("_weight_planes_cached")
+        if planes is None:
+            planes, _ = _bit_planes(
+                self.weights, self.config.weight_bits, self.config.signed_weights
+            )
+            self.__dict__["_weight_planes_cached"] = planes
+        return planes
+
+    @_weight_planes.setter
+    def _weight_planes(self, planes: np.ndarray) -> None:
+        self.__dict__["_weight_planes_cached"] = planes
+
     def program(self, weights: np.ndarray) -> None:
         """Rewrite the array — only legal for volatile (SRAM) cells."""
         if self._programmed and not self.config.cell.volatile:

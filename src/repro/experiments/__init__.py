@@ -31,6 +31,7 @@ module              implements
 ``ablations``       ADC bits, bit-line noise, packing, standby, init
 ``runtime_study``   compile-once runtime amortization (serving/streaming)
 ``shard_study``     sharded pipeline-parallel makespans on executed traffic
+``warmstart_study``  cold compile vs persisted-artifact warm start
 ==================  ================================================
 """
 
@@ -50,6 +51,7 @@ from repro.experiments import (
     runtime_study,
     shard_study,
     table1,
+    warmstart_study,
 )
 from repro.experiments.common import (
     PretrainedBundle,
@@ -73,6 +75,7 @@ __all__ = [
     "runtime_study",
     "shard_study",
     "table1",
+    "warmstart_study",
     "PretrainedBundle",
     "pretrain_classifier",
     "clone_with_new_head",

@@ -19,6 +19,11 @@ software:
   across simulated chiplets and execute micro-batch streams
   pipeline-parallel, with inter-chiplet link energy/latency accounting
   (``repro.runtime.sharded``).
+* :func:`save` / :func:`load` / :class:`ArtifactStore` — persist a
+  compiled model as a versioned, content-addressed on-disk artifact and
+  warm-start later processes from it, bitwise identically and much
+  faster than a cold compile (``repro.runtime.snapshot``); the same
+  store backs the engine cache's disk second tier.
 
 The consuming layers sit on top: ``repro.cim.deploy`` wraps
 :class:`CompiledModel`, the functional ``repro.cim.cim_linear`` /
@@ -66,9 +71,29 @@ from repro.runtime.sharded import (
     shard,
     stream_rng,
 )
+from repro.runtime.snapshot import (
+    ArtifactStore,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotKeyError,
+    SnapshotStaleError,
+    SnapshotVersionError,
+    artifact_key,
+    load,
+    save,
+)
 from repro.runtime.reference import reference_forward
 
 __all__ = [
+    "ArtifactStore",
+    "SnapshotError",
+    "SnapshotKeyError",
+    "SnapshotCorruptError",
+    "SnapshotVersionError",
+    "SnapshotStaleError",
+    "artifact_key",
+    "save",
+    "load",
     "ShardedModel",
     "ShardPlan",
     "ShardSegment",

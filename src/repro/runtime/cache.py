@@ -46,12 +46,22 @@ class EngineKey:
 
 @dataclass
 class CacheStats:
-    """Counters of cache activity since construction (or ``reset``)."""
+    """Counters of cache activity since construction (or ``reset``).
+
+    ``disk_hits`` / ``disk_misses`` count the disk second tier (when the
+    cache owns an artifact store): a disk hit restores a programmed
+    engine instead of programming it, a disk miss falls through to
+    programming from scratch.  In-memory ``hits`` never touch the disk
+    tier, so ``misses == disk_hits + disk_misses`` on a disk-backed
+    cache.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     programmed: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -60,6 +70,7 @@ class CacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.programmed = 0
+        self.disk_hits = self.disk_misses = 0
 
 
 def weight_fingerprint(weight: np.ndarray) -> str:
@@ -125,12 +136,21 @@ class EngineCache:
     workloads that sweep many large distinct weight sets through one
     cache should size ``capacity`` (or use a dedicated cache)
     accordingly.
+
+    ``store`` (an :class:`~repro.runtime.snapshot.ArtifactStore`) adds a
+    **disk second tier**: a memory miss first tries to restore the
+    engine from a persisted artifact (``disk_hits``), and an engine
+    programmed from scratch is written back so the *next* process warm
+    starts.  Disk failures of any kind — corrupted artifact, version
+    mismatch, filesystem error — degrade to programming from scratch;
+    the disk tier can make a lookup cheaper, never make it fail.
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128, store: Optional[Any] = None):
         if capacity < 0:
             raise ValueError(f"capacity cannot be negative, got {capacity}")
         self.capacity = capacity
+        self.store = store
         self.stats = CacheStats()
         self._entries: "OrderedDict[EngineKey, Any]" = OrderedDict()
         self._lock = threading.RLock()
@@ -154,22 +174,32 @@ class EngineCache:
             return None
 
     def get_or_program(self, key: EngineKey, factory: Callable[[], Any]) -> Any:
-        """Return the engine for ``key``, programming it on first use."""
+        """Return the engine for ``key``: memory hit, disk hit, or program."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return self._entries[key]
             self.stats.misses += 1
-        # Program outside the lock: construction can be expensive and
-        # must not serialize concurrent sessions compiling other layers.
+        # Disk tier and programming both run outside the lock: neither
+        # may serialize concurrent sessions compiling other layers.
+        restored = self._from_disk(key)
+        if restored is not None:
+            with self._lock:
+                self.stats.disk_hits += 1
+            return self._retain(key, restored)
         engine = factory()
         with self._lock:
             self.stats.programmed += 1
+        self._to_disk(key, engine)
+        return self._retain(key, engine)
+
+    def _retain(self, key: EngineKey, engine: Any) -> Any:
+        with self._lock:
             if self.capacity > 0:
                 existing = self._entries.get(key)
                 if existing is not None:
-                    # A concurrent session programmed it first; share that one.
+                    # A concurrent session landed it first; share that one.
                     self._entries.move_to_end(key)
                     return existing
                 self._entries[key] = engine
@@ -177,6 +207,40 @@ class EngineCache:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
         return engine
+
+    def _from_disk(self, key: EngineKey) -> Optional[Any]:
+        """Disk-tier lookup; any failure degrades to a miss, never raises."""
+        if self.store is None:
+            return None
+        try:
+            return self.store.read_engine(key)
+        except Exception:
+            # Missing, corrupted, stale or version-mismatched artifact —
+            # fall through to programming from scratch.  The server must
+            # keep serving whatever the store's state is.
+            with self._lock:
+                self.stats.disk_misses += 1
+            return None
+
+    def _to_disk(self, key: EngineKey, engine: Any) -> None:
+        """Best-effort write-back; storage failures never fail the lookup."""
+        if self.store is None:
+            return
+        try:
+            self.store.write_engine(key, engine)
+        except Exception:
+            pass
+
+    def put(self, key: EngineKey, engine: Any) -> None:
+        """Seed ``key`` with an externally restored engine (snapshot load)."""
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            self._entries[key] = engine
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         with self._lock:

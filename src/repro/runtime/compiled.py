@@ -150,6 +150,7 @@ class _EngineSlot:
         predicted_signed: bool,
         stride: int = 0,
         padding: int = 0,
+        fingerprint: Optional[str] = None,
     ):
         self.layer_id = layer_id
         self.kind = kind
@@ -160,7 +161,12 @@ class _EngineSlot:
         self.predicted_signed = bool(predicted_signed)
         self.stride = stride
         self.padding = padding
-        self.fingerprint = weight_fingerprint(weight_fn())
+        # ``fingerprint`` is the snapshot warm-start hook: a caller that
+        # already knows the weights' content hash (it wrote them) skips
+        # re-hashing here; ``refresh`` always re-hashes the live weights.
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else weight_fingerprint(weight_fn())
+        )
         # Strong per-slot references: the LRU cache shares engines across
         # models, but eviction there must never force this compiled
         # model to reprogram its own layers on the hot path.
@@ -280,11 +286,17 @@ class _RebranchStep:
 class _PlanBuilder:
     """Walk the module tree once, building steps and engine slots."""
 
-    def __init__(self, config: RuntimeConfig, cache: EngineCache):
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        cache: EngineCache,
+        fingerprints: Optional[Dict[str, str]] = None,
+    ):
         self.config = config
         self.rom_config = config.resolved_rom()
         self.sram_config = config.resolved_sram()
         self.cache = cache
+        self.fingerprints = fingerprints if fingerprints is not None else {}
         self.slots: List[_EngineSlot] = []
 
     def _placement_config_fn(self, module) -> Callable[[], MacroConfig]:
@@ -318,6 +330,7 @@ class _PlanBuilder:
             predicted_signed=signed,
             stride=sh,
             padding=ph,
+            fingerprint=self.fingerprints.get(name),
         )
         self.slots.append(slot)
         return slot
@@ -337,6 +350,7 @@ class _PlanBuilder:
             activation_bits=self.config.activation_bits,
             cache=self.cache,
             predicted_signed=signed,
+            fingerprint=self.fingerprints.get(name),
         )
         self.slots.append(slot)
         return slot
@@ -557,6 +571,7 @@ def compile(
     shards: Optional[int] = None,
     link: Optional[Any] = None,
     shard_input_shape: Optional[Tuple[int, ...]] = None,
+    fingerprints: Optional[Dict[str, str]] = None,
 ):
     """Program ``model``'s macros once; returns the executable image.
 
@@ -572,13 +587,19 @@ def compile(
     yields a single-shard model (the serial baseline of a sweep, free
     of link crossings).  ``link`` overrides the inter-chiplet link spec
     and ``shard_input_shape`` enables the MAC-balanced layer cut.
+
+    ``fingerprints`` (layer id -> content hash) supplies trusted
+    programming fingerprints for layers whose hash the caller already
+    knows — the snapshot warm-start path, which wrote the weights it is
+    now compiling over.  Layers absent from the mapping are hashed as
+    usual, and ``ensure_fresh()`` always re-hashes the live weights.
     """
     config = config if config is not None else RuntimeConfig()
     cache = resolve_cache(cache)
     if config.fold_bn:
         fold_batchnorm(model)
     validate_deployable(model)
-    builder = _PlanBuilder(config, cache)
+    builder = _PlanBuilder(config, cache, fingerprints)
     steps, _ = builder.build(model, "", config.assume_signed_input)
     report = build_report(
         model,

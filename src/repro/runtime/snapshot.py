@@ -1,0 +1,1317 @@
+"""Persistent compiled-artifact store: program once per fleet, not per process.
+
+PR 1 split programming from execution *in memory*; every process still
+paid the full programming cost (weight quantization, bit-plane
+decomposition, tile placement, kernel fusion) on startup.  This module
+makes the compile-once contract durable: a :class:`CompiledModel` is
+serialized to a **versioned, content-addressed on-disk artifact** and
+restored by :func:`load` into a model whose outputs are **bitwise
+identical** to the freshly compiled one — including under bit-line
+noise, because the restored engines hold the exact programmed state
+(same tiles, same order, same RNG draw sequence).
+
+Artifact contents (one ``.npz`` container per artifact):
+
+* the deployable module tree (architecture spec + float64 parameters +
+  ``requires_grad`` flags — placement-relevant, so preserved exactly);
+* per programmed engine: the quantized weight codes and per-channel
+  scales, the programming-time macro configuration, and — for
+  noise-free configurations — the fused kernel's bit-packed float32
+  weight planes, so load never re-derives what programming computed;
+* for sharded deployments: the realized :class:`ShardPlan` and
+  inter-chiplet link spec;
+* a JSON header carrying the format version, the content key, and the
+  per-layer weight fingerprints the engine cache keys on.
+
+Content addressing: :func:`artifact_key` digests the architecture spec,
+every parameter's value fingerprint, the :class:`RuntimeConfig`, and the
+shard request, so one ``(model weights, config, shards)`` triple maps to
+one artifact across processes, restarts and fleet replicas.
+
+Failure behaviour is typed: a missing key raises
+:class:`SnapshotKeyError`, a truncated or corrupted container
+:class:`SnapshotCorruptError`, an incompatible format
+:class:`SnapshotVersionError`, and an artifact whose engines do not
+match its own recorded weights :class:`SnapshotStaleError` — all
+subclasses of :class:`SnapshotError`, which the serving layers catch to
+fall back to a cold compile instead of crashing.
+
+``tests/test_snapshot.py`` pins the save→load→run bitwise identity
+differentially (per model family × shard count × seed, with and without
+bit-line noise, and across a process boundary);
+``benchmarks/test_bench_warmstart.py`` pins warm-start load at >= 5x
+faster than cold compilation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.arch.chiplet import ChipletLinkSpec
+from repro.cim.adc import AdcSpec
+from repro.cim.bitline import BitlineModel
+from repro.cim.cells import CellSpec
+from repro.cim.encoding import (
+    ActivationEncoding,
+    BitSerialEncoding,
+    PulseWidthEncoding,
+    UnaryPulseEncoding,
+)
+from repro.cim.macro import CimMacro, MacroConfig
+from repro.cim.mvm import CimTiledMatmul, _Tile
+from repro.rebranch.branch import ReBranchConv2d
+from repro.runtime.cache import EngineCache, EngineKey, resolve_cache
+from repro.runtime.compiled import CompiledModel, RuntimeConfig
+from repro.runtime.compiled import compile as _compile
+from repro.runtime.engine import (
+    ProgrammedConv,
+    ProgrammedLinear,
+    conv_engine_key,
+    linear_engine_key,
+)
+from repro.runtime.kernels import TiledBitSerialKernel, _TileGroup
+from repro.runtime.sharded import ShardedModel, ShardPlan, ShardSegment
+from repro.runtime.sharded import shard as _shard
+
+#: Container format marker; a file without it is not an artifact at all.
+FORMAT = "repro-compiled-model"
+
+#: Bumped on any incompatible change to the artifact layout.  The
+#: version participates in :func:`artifact_key`, so a format bump makes
+#: old artifacts *miss* (recompile-and-resave) rather than error.
+VERSION = 1
+
+#: Leading bytes of every artifact container file.
+MAGIC = b"RCMA1\n"
+
+#: Array payloads are aligned to this boundary so the mmap'd views the
+#: loader hands out are safely aligned for every dtype.
+_ALIGN = 64
+
+
+# ----------------------------------------------------------------------
+# Typed failures
+# ----------------------------------------------------------------------
+class SnapshotError(Exception):
+    """Base class of every artifact-store failure."""
+
+
+class SnapshotKeyError(SnapshotError, KeyError):
+    """The store holds no artifact under the requested key."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return Exception.__str__(self)
+
+
+class SnapshotCorruptError(SnapshotError):
+    """The artifact container is truncated, unreadable or inconsistent."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The artifact was written by an incompatible format version."""
+
+
+class SnapshotStaleError(SnapshotError):
+    """The artifact's programmed engines do not match its own weights."""
+
+
+# ----------------------------------------------------------------------
+# Configuration (de)serialization — exact float round-trip through JSON
+# (json uses float.__repr__, the shortest round-tripping representation)
+# ----------------------------------------------------------------------
+def _cell_to_meta(cell: CellSpec) -> Dict[str, Any]:
+    return {
+        "name": cell.name,
+        "transistors": int(cell.transistors),
+        "area_um2": float(cell.area_um2),
+        "volatile": bool(cell.volatile),
+        "computes": bool(cell.computes),
+        "read_energy_fj": float(cell.read_energy_fj),
+        "standby_leakage_pw": float(cell.standby_leakage_pw),
+    }
+
+
+def _cell_from_meta(meta: Dict[str, Any]) -> CellSpec:
+    return CellSpec(**meta)
+
+
+def _adc_to_meta(adc: AdcSpec) -> Dict[str, Any]:
+    return {
+        "bits": int(adc.bits),
+        "energy_fj": float(adc.energy_fj),
+        "conversion_time_ns": float(adc.conversion_time_ns),
+        "area_um2": float(adc.area_um2),
+    }
+
+
+def _bitline_to_meta(bitline: Optional[BitlineModel]) -> Optional[Dict[str, Any]]:
+    if bitline is None:
+        return None
+    return {
+        "max_rows": int(bitline.max_rows),
+        "v_precharge": float(bitline.v_precharge),
+        "noise_sigma_counts": float(bitline.noise_sigma_counts),
+        "saturation": None if bitline.saturation is None else float(bitline.saturation),
+    }
+
+
+def _bitline_from_meta(meta: Optional[Dict[str, Any]]) -> Optional[BitlineModel]:
+    return None if meta is None else BitlineModel(**meta)
+
+
+def _macro_config_to_meta(config: MacroConfig) -> Dict[str, Any]:
+    return {
+        "rows": int(config.rows),
+        "phys_columns": int(config.phys_columns),
+        "n_adcs": int(config.n_adcs),
+        "adc": _adc_to_meta(config.adc),
+        "cell": _cell_to_meta(config.cell),
+        "weight_bits": int(config.weight_bits),
+        "input_bits": int(config.input_bits),
+        "signed_weights": bool(config.signed_weights),
+        "signed_inputs": bool(config.signed_inputs),
+        "cycle_time_ns": float(config.cycle_time_ns),
+        "wl_energy_fj": float(config.wl_energy_fj),
+        "peripheral_energy_fj_per_cycle": float(
+            config.peripheral_energy_fj_per_cycle
+        ),
+        "bitline": _bitline_to_meta(config.bitline),
+    }
+
+
+def _macro_config_from_meta(meta: Dict[str, Any]) -> MacroConfig:
+    fields = dict(meta)
+    fields["adc"] = AdcSpec(**fields["adc"])
+    fields["cell"] = _cell_from_meta(fields["cell"])
+    fields["bitline"] = _bitline_from_meta(fields["bitline"])
+    return MacroConfig(**fields)
+
+
+def _encoding_to_meta(encoding: Optional[ActivationEncoding]) -> Optional[Dict[str, Any]]:
+    # Exact class matches only: a behaviour-overriding *subclass* of a
+    # built-in encoding must not serialize (and content-address) as its
+    # base class — a warm start would silently restore the wrong
+    # arithmetic.
+    if encoding is None:
+        return None
+    if type(encoding) is PulseWidthEncoding:
+        return {
+            "type": "pulse-width",
+            "jitter_sigma_slots": float(encoding.jitter_sigma_slots),
+        }
+    if type(encoding) is UnaryPulseEncoding:
+        return {"type": "unary-pulse"}
+    if type(encoding) is BitSerialEncoding:
+        return {"type": "bit-serial"}
+    raise SnapshotError(
+        f"cannot serialize custom activation encoding "
+        f"{type(encoding).__name__}; use one of the built-in encodings"
+    )
+
+
+def _encoding_from_meta(meta: Optional[Dict[str, Any]]) -> Optional[ActivationEncoding]:
+    if meta is None:
+        return None
+    kind = meta["type"]
+    if kind == "pulse-width":
+        return PulseWidthEncoding(jitter_sigma_slots=meta["jitter_sigma_slots"])
+    if kind == "unary-pulse":
+        return UnaryPulseEncoding()
+    if kind == "bit-serial":
+        return BitSerialEncoding()
+    raise SnapshotVersionError(f"unknown activation encoding kind {kind!r}")
+
+
+def _runtime_config_to_meta(config: RuntimeConfig) -> Dict[str, Any]:
+    return {
+        "rom_config": (
+            None if config.rom_config is None else _macro_config_to_meta(config.rom_config)
+        ),
+        "sram_config": (
+            None
+            if config.sram_config is None
+            else _macro_config_to_meta(config.sram_config)
+        ),
+        "activation_bits": int(config.activation_bits),
+        "encoding": _encoding_to_meta(config.encoding),
+        "fold_bn": bool(config.fold_bn),
+        "assume_signed_input": bool(config.assume_signed_input),
+    }
+
+
+def _runtime_config_from_meta(meta: Dict[str, Any]) -> RuntimeConfig:
+    return RuntimeConfig(
+        rom_config=(
+            None if meta["rom_config"] is None else _macro_config_from_meta(meta["rom_config"])
+        ),
+        sram_config=(
+            None
+            if meta["sram_config"] is None
+            else _macro_config_from_meta(meta["sram_config"])
+        ),
+        activation_bits=meta["activation_bits"],
+        encoding=_encoding_from_meta(meta["encoding"]),
+        fold_bn=meta["fold_bn"],
+        assume_signed_input=meta["assume_signed_input"],
+    )
+
+
+def _link_to_meta(link: ChipletLinkSpec) -> Dict[str, Any]:
+    return {
+        "energy_pj_per_bit": float(link.energy_pj_per_bit),
+        "bandwidth_gbps_per_pin": float(link.bandwidth_gbps_per_pin),
+        "pins_per_link": int(link.pins_per_link),
+    }
+
+
+def _link_from_meta(meta: Dict[str, Any]) -> ChipletLinkSpec:
+    return ChipletLinkSpec(**meta)
+
+
+# ----------------------------------------------------------------------
+# Module-tree (de)serialization
+# ----------------------------------------------------------------------
+class RestoredComposite(nn.Module):
+    """Generic container standing in for a custom composite module.
+
+    The deployment plan treats any composite as "chain the children in
+    registration order" (see ``_PlanBuilder.build``), so a restored
+    artifact only needs the children and their names — not the original
+    class.  ``source_type`` records the original class name for repr.
+    """
+
+    def __init__(self, source_type: str = "Module"):
+        super().__init__()
+        self.source_type = source_type
+
+    def forward(self, x):
+        for child in self._modules.values():
+            x = child(x)
+        return x
+
+    def extra_repr(self) -> str:
+        return f"restored={self.source_type}"
+
+
+class _TreeWriter:
+    """Walks a module tree into a JSON spec + parameter arrays."""
+
+    def __init__(self):
+        self.arrays: Dict[str, np.ndarray] = {}
+        self._counter = 0
+
+    def _store_array(self, value: np.ndarray) -> str:
+        name = f"p{self._counter}"
+        self._counter += 1
+        self.arrays[name] = np.asarray(value, dtype=np.float64)
+        return name
+
+    def _param(self, param: Optional[nn.Parameter]) -> Optional[Dict[str, Any]]:
+        if param is None:
+            return None
+        return {
+            "array": self._store_array(param.data),
+            "requires_grad": bool(param.requires_grad),
+        }
+
+    def spec(self, module: nn.Module) -> Dict[str, Any]:
+        if isinstance(module, ReBranchConv2d):
+            return {
+                "kind": "rebranch",
+                "d": int(module.d),
+                "u": int(module.u),
+                "trunk": self.spec(module.trunk),
+                "compress": self.spec(module.compress),
+                "res_conv": self.spec(module.res_conv),
+                "decompress": self.spec(module.decompress),
+            }
+        if isinstance(module, nn.Conv2d):
+            return {
+                "kind": "conv2d",
+                "in_channels": module.in_channels,
+                "out_channels": module.out_channels,
+                "kernel_size": list(module.kernel_size),
+                "stride": list(module.stride),
+                "padding": list(module.padding),
+                "groups": module.groups,
+                "weight": self._param(module.weight),
+                "bias": self._param(module.bias),
+            }
+        if isinstance(module, nn.Linear):
+            return {
+                "kind": "linear",
+                "in_features": module.in_features,
+                "out_features": module.out_features,
+                "weight": self._param(module.weight),
+                "bias": self._param(module.bias),
+            }
+        if isinstance(module, nn.BatchNorm2d):
+            # Never present in a *compiled* artifact (deployment folds BN
+            # away), but required so :func:`artifact_key` can address the
+            # caller's pre-fold model — the key warm-start flows look up
+            # before compiling.
+            return {
+                "kind": "batchnorm2d",
+                "num_features": module.num_features,
+                "eps": float(module.eps),
+                "momentum": float(module.momentum),
+                "weight": self._param(module.weight),
+                "bias": self._param(module.bias),
+                "running_mean": {"array": self._store_array(module.running_mean)},
+                "running_var": {"array": self._store_array(module.running_var)},
+            }
+        if isinstance(module, nn.LeakyReLU):
+            return {"kind": "leaky_relu", "negative_slope": float(module.negative_slope)}
+        if isinstance(module, nn.Dropout):
+            return {"kind": "dropout", "p": float(module.p)}
+        if isinstance(module, (nn.MaxPool2d, nn.AvgPool2d)):
+            return {
+                "kind": "max_pool" if isinstance(module, nn.MaxPool2d) else "avg_pool",
+                "kernel_size": _intpair_meta(module.kernel_size),
+                "stride": _intpair_meta(module.stride),
+            }
+        for kind, cls in _STATELESS_LEAVES.items():
+            # Exact class match: a stateless subclass with custom forward
+            # must not silently degrade to its base behaviour.
+            if type(module) is cls:
+                return {"kind": kind}
+        if isinstance(module, nn.Sequential) or module._modules:
+            return {
+                "kind": "composite",
+                "source_type": type(module).__name__,
+                "sequential": isinstance(module, nn.Sequential),
+                "children": [
+                    [name, self.spec(child)]
+                    for name, child in module._modules.items()
+                ],
+            }
+        raise SnapshotError(
+            f"cannot serialize module of type {type(module).__name__}; "
+            f"the artifact format covers exactly the deployable module set"
+        )
+
+
+_STATELESS_LEAVES = {
+    "relu": nn.ReLU,
+    "sigmoid": nn.Sigmoid,
+    "tanh": nn.Tanh,
+    "identity": nn.Identity,
+    "flatten": nn.Flatten,
+    "global_avg_pool": nn.GlobalAvgPool2d,
+}
+
+
+def _intpair_meta(value):
+    if value is None:
+        return None
+    if isinstance(value, (tuple, list)):
+        return list(int(v) for v in value)
+    return int(value)
+
+
+def _intpair_restore(value):
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _restore_param(meta: Optional[Dict[str, Any]], arrays) -> Optional[nn.Parameter]:
+    if meta is None:
+        return None
+    data = np.asarray(arrays[meta["array"]], dtype=np.float64)
+    return nn.Parameter(data, requires_grad=meta["requires_grad"])
+
+
+def _restore_module(spec: Dict[str, Any], arrays) -> nn.Module:
+    kind = spec["kind"]
+    if kind == "conv2d":
+        conv = nn.Conv2d.__new__(nn.Conv2d)
+        nn.Module.__init__(conv)
+        conv.in_channels = spec["in_channels"]
+        conv.out_channels = spec["out_channels"]
+        conv.kernel_size = tuple(spec["kernel_size"])
+        conv.stride = tuple(spec["stride"])
+        conv.padding = tuple(spec["padding"])
+        conv.groups = spec["groups"]
+        conv.weight = _restore_param(spec["weight"], arrays)
+        conv.bias = _restore_param(spec["bias"], arrays)
+        return conv
+    if kind == "linear":
+        linear = nn.Linear.__new__(nn.Linear)
+        nn.Module.__init__(linear)
+        linear.in_features = spec["in_features"]
+        linear.out_features = spec["out_features"]
+        linear.weight = _restore_param(spec["weight"], arrays)
+        linear.bias = _restore_param(spec["bias"], arrays)
+        return linear
+    if kind == "rebranch":
+        branch = ReBranchConv2d.__new__(ReBranchConv2d)
+        nn.Module.__init__(branch)
+        trunk = _restore_module(spec["trunk"], arrays)
+        branch.d = spec["d"]
+        branch.u = spec["u"]
+        branch.in_channels = trunk.in_channels
+        branch.out_channels = trunk.out_channels
+        branch.kernel_size = trunk.kernel_size
+        branch.stride = trunk.stride
+        branch.padding = trunk.padding
+        branch.trunk = trunk
+        branch.compress = _restore_module(spec["compress"], arrays)
+        branch.res_conv = _restore_module(spec["res_conv"], arrays)
+        branch.decompress = _restore_module(spec["decompress"], arrays)
+        return branch
+    if kind == "batchnorm2d":
+        bn = nn.BatchNorm2d(
+            spec["num_features"], eps=spec["eps"], momentum=spec["momentum"]
+        )
+        bn.weight = _restore_param(spec["weight"], arrays)
+        bn.bias = _restore_param(spec["bias"], arrays)
+        bn._update_buffer(
+            "running_mean",
+            np.asarray(arrays[spec["running_mean"]["array"]], dtype=np.float64),
+        )
+        bn._update_buffer(
+            "running_var",
+            np.asarray(arrays[spec["running_var"]["array"]], dtype=np.float64),
+        )
+        return bn
+    if kind == "leaky_relu":
+        return nn.LeakyReLU(negative_slope=spec["negative_slope"])
+    if kind == "dropout":
+        return nn.Dropout(p=spec["p"])
+    if kind == "max_pool":
+        return nn.MaxPool2d(
+            _intpair_restore(spec["kernel_size"]), _intpair_restore(spec["stride"])
+        )
+    if kind == "avg_pool":
+        return nn.AvgPool2d(
+            _intpair_restore(spec["kernel_size"]), _intpair_restore(spec["stride"])
+        )
+    if kind in _STATELESS_LEAVES:
+        return _STATELESS_LEAVES[kind]()
+    if kind == "composite":
+        if spec["sequential"]:
+            module: nn.Module = nn.Sequential()
+        else:
+            module = RestoredComposite(spec["source_type"])
+        for name, child_spec in spec["children"]:
+            setattr(module, name, _restore_module(child_spec, arrays))
+        return module
+    raise SnapshotVersionError(f"unknown module kind {kind!r} in artifact")
+
+
+# ----------------------------------------------------------------------
+# Engine (de)serialization
+# ----------------------------------------------------------------------
+def _codes_dtype(weight_bits: int):
+    if weight_bits <= 8:
+        return np.int8
+    if weight_bits <= 16:
+        return np.int16
+    return np.int32
+
+
+def _plane_weights_for(bits: int, signed: bool) -> np.ndarray:
+    weights = np.array([float(1 << k) for k in range(bits)])
+    if signed:
+        weights[bits - 1] = -float(1 << (bits - 1))
+    return weights
+
+
+_POPCOUNT_8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.int64)
+
+
+def _stored_bits_matrix(codes: np.ndarray, weight_bits: int) -> np.ndarray:
+    """Per-element count of stored '1' bits, two's-complement
+    reinterpreted over ``weight_bits`` exactly like ``_bit_planes``.
+
+    Summing a tile's slice of this matrix over its columns reproduces
+    the programmed ``weight_planes.sum(axis=(0, 2))`` row totals.
+    """
+    unsigned = codes & ((1 << weight_bits) - 1)
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(unsigned)
+    counts = _POPCOUNT_8[unsigned & 0xFF]
+    for shift in range(8, weight_bits, 8):
+        counts = counts + _POPCOUNT_8[(unsigned >> shift) & 0xFF]
+    return counts
+
+
+def _tile_grid(shape: Tuple[int, int], config: MacroConfig) -> List[Tuple[int, int, int, int]]:
+    """The deterministic tile bounds :class:`CimTiledMatmul` lays out."""
+    rows, cols = shape
+    bounds = []
+    for r0 in range(0, rows, config.rows):
+        r1 = min(r0 + config.rows, rows)
+        for c0 in range(0, cols, config.logical_columns):
+            c1 = min(c0 + config.logical_columns, cols)
+            bounds.append((r0, r1, c0, c1))
+    return bounds
+
+
+def _linear_of(engine) -> ProgrammedLinear:
+    return engine.linear if isinstance(engine, ProgrammedConv) else engine
+
+
+def serialize_engine(engine, tag: str, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """Capture one programmed engine's state into ``arrays`` + meta.
+
+    Stores the quantized weight codes, per-channel scales, programming
+    config, and — when the fast noise-free kernel is programmed — each
+    tile group's float32 weight planes bit-packed (64x smaller than the
+    float64 planes; exact, since plane values are 0/1).
+    """
+    linear = _linear_of(engine)
+    meta: Dict[str, Any] = {
+        "tag": tag,
+        "kind": "conv" if isinstance(engine, ProgrammedConv) else "linear",
+        "signed_inputs": bool(linear.signed_inputs),
+        "activation_bits": int(linear.activation_bits),
+        "config": _macro_config_to_meta(linear.config),
+    }
+    if isinstance(engine, ProgrammedConv):
+        meta["stride"] = int(engine.stride)
+        meta["padding"] = int(engine.padding)
+        meta["weight_shape"] = list(engine.weight_shape)
+    arrays[f"{tag}_codes"] = linear.w_codes.astype(
+        _codes_dtype(linear.config.weight_bits)
+    )
+    arrays[f"{tag}_scale"] = np.asarray(linear.w_scale, dtype=np.float64)
+    kernel = linear._kernel
+    meta["kernel_groups"] = 0 if kernel is None else len(kernel._groups)
+    if kernel is not None:
+        for g, group in enumerate(kernel._groups):
+            arrays[f"{tag}_g{g}"] = np.packbits(group.planes32.astype(np.uint8))
+    return meta
+
+
+def _restore_tiled(codes_t: np.ndarray, run_config: MacroConfig) -> CimTiledMatmul:
+    """Rebuild the tiled engine from integer codes without re-deriving
+    bit planes (restored macros compute them lazily on first reference
+    use — e.g. under bit-line noise — and bitwise identically)."""
+    engine = CimTiledMatmul.__new__(CimTiledMatmul)
+    engine.config = run_config
+    engine.shape = codes_t.shape
+    tiles: List[_Tile] = []
+    plane_weights = _plane_weights_for(run_config.weight_bits, run_config.signed_weights)
+    # One construction-time generator shared by every tile, exactly like
+    # CimTiledMatmul.__init__; the runtime always passes an execution
+    # rng, so this is only a fallback for direct macro use.
+    rng = np.random.default_rng()
+    for r0, r1, c0, c1 in _tile_grid(codes_t.shape, run_config):
+        macro = CimMacro.__new__(CimMacro)
+        macro.config = run_config
+        macro._rng = rng
+        macro._programmed = True
+        macro.rows_used = r1 - r0
+        macro.cols_used = c1 - c0
+        macro.weights = codes_t[r0:r1, c0:c1]
+        macro._plane_weights = plane_weights
+        tiles.append(_Tile(macro, r0, r1, c0, c1))
+    engine.tiles = tiles
+    return engine
+
+
+def _restore_kernel(
+    engine: CimTiledMatmul, tag: str, n_groups: int, arrays, bits_t: np.ndarray
+) -> TiledBitSerialKernel:
+    """Rebuild the fused kernel from bit-packed planes (no recompute).
+
+    ``bits_t`` is the per-element stored-bit count matrix in the
+    engine's ``(rows, cols)`` orientation, computed once per engine.
+    """
+    config = engine.config
+    wb = config.weight_bits
+    grouped: Dict[Tuple[int, int], List[_Tile]] = {}
+    for tile in engine.tiles:
+        grouped.setdefault((tile.row_start, tile.row_stop), []).append(tile)
+    if len(grouped) != n_groups:
+        raise SnapshotCorruptError(
+            f"artifact records {n_groups} kernel groups but the tile grid "
+            f"produces {len(grouped)}"
+        )
+    groups: List[_TileGroup] = []
+    for g, ((row_start, row_stop), tiles) in enumerate(grouped.items()):
+        rows = row_stop - row_start
+        widths = [wb * tile.macro.cols_used for tile in tiles]
+        total = sum(widths)
+        packed = arrays[f"{tag}_g{g}"]
+        if packed.size * 8 < total * rows:
+            raise SnapshotCorruptError(
+                f"kernel group {g} of {tag!r} holds {packed.size * 8} plane "
+                f"bits, expected {total * rows}"
+            )
+        planes = np.unpackbits(packed, count=total * rows)
+        group = _TileGroup.__new__(_TileGroup)
+        group.row_start = row_start
+        group.row_stop = row_stop
+        group.tiles = tiles
+        group.planes32 = planes.reshape(total, rows).astype(np.float32)
+        group.offsets = np.cumsum([0] + widths)
+        domain = np.arange(rows + 1, dtype=np.float64)
+        observed = config.bitline.observe(domain, None)
+        group.lut = config.adc.quantize_counts(observed, float(rows))
+        group.lut_is_identity = bool(np.array_equal(group.lut, domain))
+        group.idx_dtype = np.uint8 if rows <= 255 else np.int64
+        # Per-row ON-cell totals: exact integers whichever order they are
+        # summed in, so this popcount over the codes equals the
+        # programmed float64 plane reduction bitwise.
+        group.plane_row_sums = [
+            bits_t[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop].sum(
+                axis=1, dtype=np.float64
+            )
+            for tile in tiles
+        ]
+        groups.append(group)
+    kernel = TiledBitSerialKernel.__new__(TiledBitSerialKernel)
+    kernel.engine = engine
+    kernel._groups = groups
+    kernel._path_cache = {}
+    return kernel
+
+
+def restore_engine(meta: Dict[str, Any], arrays):
+    """Inverse of :func:`serialize_engine` — a bitwise-equal engine."""
+    config = _macro_config_from_meta(meta["config"])
+    activation_bits = meta["activation_bits"]
+    signed_inputs = meta["signed_inputs"]
+    codes = np.asarray(arrays[f"{meta['tag']}_codes"], dtype=np.int64)
+
+    linear = ProgrammedLinear.__new__(ProgrammedLinear)
+    linear.config = config
+    linear.activation_bits = int(activation_bits)
+    linear.signed_inputs = bool(signed_inputs)
+    linear.out_features, linear.in_features = codes.shape
+    linear.w_codes = codes
+    # Force a copy off the container mapping: engines must be fully
+    # materialized (the codes copy above and the unpacked planes already
+    # are), so a live engine never keeps pages of the artifact file
+    # mapped — overwriting an engine artifact cannot crash a server
+    # that restored from it.
+    linear.w_scale = np.array(arrays[f"{meta['tag']}_scale"], dtype=np.float64)
+    # The exact run-config derivation ProgrammedLinear.__init__ performs.
+    bitline = replace(config.bitline) if config.bitline is not None else None
+    linear.run_config = replace(
+        config,
+        input_bits=linear.activation_bits,
+        signed_weights=True,
+        signed_inputs=linear.signed_inputs,
+        bitline=bitline,
+    )
+    linear.engine = _restore_tiled(codes.T, linear.run_config)
+    n_groups = meta["kernel_groups"]
+    supported = TiledBitSerialKernel.supported(linear.run_config)
+    if n_groups and not supported:
+        raise SnapshotCorruptError(
+            "artifact stores fused-kernel planes for a configuration the "
+            "fast kernel does not support"
+        )
+    linear._kernel = (
+        _restore_kernel(
+            linear.engine,
+            meta["tag"],
+            n_groups,
+            arrays,
+            _stored_bits_matrix(codes, linear.run_config.weight_bits).T,
+        )
+        if n_groups
+        else None
+    )
+    if supported and not n_groups:
+        # A noise-free engine saved without kernel planes (never the
+        # writer's behaviour) still restores correctly, just colder.
+        linear._kernel = TiledBitSerialKernel(linear.engine)
+
+    if meta["kind"] == "linear":
+        return linear
+    conv = ProgrammedConv.__new__(ProgrammedConv)
+    shape = tuple(meta["weight_shape"])
+    conv.out_channels, conv.in_channels, conv.kh, conv.kw = shape
+    conv.stride = int(meta["stride"])
+    conv.padding = int(meta["padding"])
+    conv.linear = linear
+    return conv
+
+
+def _engine_cache_key(meta: Dict[str, Any], layer_id: str, fingerprint: str) -> EngineKey:
+    config = _macro_config_from_meta(meta["config"])
+    if meta["kind"] == "conv":
+        return conv_engine_key(
+            None,
+            meta["stride"],
+            meta["padding"],
+            config,
+            meta["activation_bits"],
+            meta["signed_inputs"],
+            layer_id,
+            fingerprint,
+        )
+    return linear_engine_key(
+        None,
+        config,
+        meta["activation_bits"],
+        meta["signed_inputs"],
+        layer_id,
+        fingerprint,
+    )
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+def _hash_spec(digest, spec: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> None:
+    """Feed the architecture spec and every parameter's value into the
+    digest (array refs in the spec are replaced by content hashes)."""
+
+    def canonical(node):
+        if isinstance(node, dict):
+            out = {}
+            for key, value in sorted(node.items()):
+                if key == "array":
+                    arr = np.ascontiguousarray(arrays[value])
+                    out[key] = hashlib.sha1(
+                        arr.tobytes() + repr(arr.shape).encode()
+                    ).hexdigest()
+                else:
+                    out[key] = canonical(value)
+            return out
+        if isinstance(node, list):
+            return [canonical(item) for item in node]
+        return node
+
+    digest.update(json.dumps(canonical(spec), sort_keys=True).encode())
+
+
+def artifact_key(
+    model: nn.Module,
+    config: Optional[RuntimeConfig] = None,
+    *,
+    shards: Optional[int] = None,
+    link: Optional[ChipletLinkSpec] = None,
+    input_shape: Optional[Tuple[int, ...]] = None,
+) -> str:
+    """Content address of ``(model weights, runtime config, shard request)``.
+
+    Deterministic across processes: the digest covers the format
+    version, the architecture spec, every parameter's exact float bytes
+    and ``requires_grad`` flag (placement-relevant), the full
+    :class:`RuntimeConfig`, and the shard request (count, link spec,
+    balance shape).  Any change to any of them yields a new key — a
+    stale artifact is *unreachable*, never silently loaded.
+
+    When ``config.fold_bn`` is set, the key is computed on the
+    *canonical* (BN-folded) form of the model — folded on a private
+    copy, the caller's tree is never touched — so the key of a model
+    as registered (pre-fold) equals the key of the compiled image
+    :func:`save` persists (``compile`` folds in place).
+    """
+    config = config if config is not None else RuntimeConfig()
+    if config.fold_bn and any(
+        isinstance(module, nn.BatchNorm2d) for module in model.modules()
+    ):
+        from repro.runtime.programming import fold_batchnorm
+
+        # Round-trip through the spec: a cheap deep copy of exactly the
+        # serializable tree, preserving names and requires_grad flags.
+        proto = _TreeWriter()
+        model = _restore_module(proto.spec(model), proto.arrays)
+        fold_batchnorm(model)
+    writer = _TreeWriter()
+    spec = writer.spec(model)
+    digest = hashlib.sha256()
+    digest.update(f"{FORMAT}:{VERSION}".encode())
+    _hash_spec(digest, spec, writer.arrays)
+    digest.update(json.dumps(_runtime_config_to_meta(config), sort_keys=True).encode())
+    shard_meta = {
+        "shards": None if shards is None else int(shards),
+        "link": None if link is None else _link_to_meta(link),
+        "input_shape": None if input_shape is None else list(input_shape),
+    }
+    digest.update(json.dumps(shard_meta, sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """Content-addressed artifact directory.
+
+    Layout: ``<root>/models/<key>.rcma`` for compiled-model artifacts
+    and ``<root>/engines/<digest>.rcma`` for the single-engine artifacts
+    the :class:`~repro.runtime.cache.EngineCache` disk tier keeps.
+    Writes are atomic (write-temp + rename), so a crashed writer can
+    never leave a half-written artifact under a valid key.
+
+    Container layout (one ``.rcma`` file)::
+
+        MAGIC (6 bytes) | header length (8 bytes LE) | JSON header
+        | zero padding to a 64-byte boundary | array data section
+
+    The header carries the format version, the artifact metadata, and
+    every array's dtype/shape/offset; the data section is the arrays'
+    raw C-order bytes at 64-byte-aligned offsets.  The loader maps the
+    data section copy-on-write, so reading an artifact touches only the
+    pages the warm start actually needs (the engine state), while the
+    float64 master weights fault in lazily on first use — and stay
+    writable, because pages copy on write.  The header records a SHA-256
+    of the data section; :meth:`verify` (and ``load(verify=True)``)
+    checks it, the default fast path relies on the declared sizes only
+    (truncation and header damage are always detected).
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self._models = self.root / "models"
+        self._engines = self.root / "engines"
+        self._models.mkdir(parents=True, exist_ok=True)
+        self._engines.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    def model_path(self, key: str) -> Path:
+        return self._models / f"{key}.rcma"
+
+    def engine_path(self, key: EngineKey) -> Path:
+        digest = hashlib.sha256(
+            repr((key.layer_id, key.weight_hash, key.config_key)).encode()
+        ).hexdigest()
+        return self._engines / f"{digest}.rcma"
+
+    def __contains__(self, key: str) -> bool:
+        return self.model_path(key).exists()
+
+    def keys(self) -> List[str]:
+        return sorted(path.stem for path in self._models.glob("*.rcma"))
+
+    def engine_count(self) -> int:
+        return sum(1 for _ in self._engines.glob("*.rcma"))
+
+    # -- container i/o -------------------------------------------------
+    @staticmethod
+    def _write(path: Path, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> None:
+        index: Dict[str, Any] = {}
+        chunks: List[np.ndarray] = []
+        offset = 0
+        digest = hashlib.sha256()
+        pad_cache = b"\x00" * _ALIGN
+        payload: List[bytes] = []
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            pad = (-offset) % _ALIGN
+            if pad:
+                payload.append(pad_cache[:pad])
+                digest.update(pad_cache[:pad])
+                offset += pad
+            data = array.tobytes()
+            index[name] = {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": len(data),
+            }
+            payload.append(data)
+            digest.update(data)
+            offset += len(data)
+            chunks.append(array)
+        header = json.dumps(
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "meta": meta,
+                "arrays": index,
+                "data_size": offset,
+                "data_sha256": digest.hexdigest(),
+            }
+        ).encode("utf-8")
+        prefix = MAGIC + len(header).to_bytes(8, "little") + header
+        data_start = -(-len(prefix) // _ALIGN) * _ALIGN
+
+        fd, tmp = tempfile.mkstemp(suffix=".rcma.tmp", dir=str(path.parent))
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(prefix)
+                handle.write(b"\x00" * (data_start - len(prefix)))
+                for blob in payload:
+                    handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_header(path: Path) -> Tuple[Dict[str, Any], int]:
+        try:
+            size = path.stat().st_size
+            with open(path, "rb") as handle:
+                magic = handle.read(len(MAGIC))
+                if magic != MAGIC:
+                    raise SnapshotCorruptError(
+                        f"artifact {path.name} is not an artifact container "
+                        f"(bad magic)"
+                    )
+                raw_len = handle.read(8)
+                if len(raw_len) != 8:
+                    raise SnapshotCorruptError(f"artifact {path.name} is truncated")
+                header_len = int.from_bytes(raw_len, "little")
+                if header_len <= 0 or len(MAGIC) + 8 + header_len > size:
+                    raise SnapshotCorruptError(
+                        f"artifact {path.name} is truncated (header extends "
+                        f"past end of file)"
+                    )
+                raw_header = handle.read(header_len)
+        except FileNotFoundError:
+            raise SnapshotKeyError(f"no artifact at {path}") from None
+        except OSError as error:
+            raise SnapshotCorruptError(
+                f"unreadable artifact {path.name}: {error}"
+            ) from error
+        if len(raw_header) != header_len:
+            raise SnapshotCorruptError(f"artifact {path.name} is truncated")
+        try:
+            header = json.loads(raw_header.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SnapshotCorruptError(
+                f"artifact {path.name} header is not valid JSON: {error}"
+            ) from error
+        if not isinstance(header, dict) or header.get("format") != FORMAT:
+            raise SnapshotCorruptError(
+                f"artifact {path.name} has format "
+                f"{header.get('format') if isinstance(header, dict) else header!r}, "
+                f"expected {FORMAT!r}"
+            )
+        if header.get("version") != VERSION:
+            raise SnapshotVersionError(
+                f"artifact {path.name} is format version {header.get('version')!r}; "
+                f"this runtime reads version {VERSION}"
+            )
+        data_start = -(-(len(MAGIC) + 8 + header_len) // _ALIGN) * _ALIGN
+        if data_start + header.get("data_size", 0) != size:
+            raise SnapshotCorruptError(
+                f"artifact {path.name} is truncated: declares "
+                f"{header.get('data_size', 0)} data bytes at offset "
+                f"{data_start}, file holds {size}"
+            )
+        return header, data_start
+
+    @classmethod
+    def _read(cls, path: Path) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        header, data_start = cls._read_header(path)
+        try:
+            blob = (
+                np.memmap(path, dtype=np.uint8, mode="c", offset=data_start)
+                if header["data_size"]
+                else np.empty(0, dtype=np.uint8)
+            )
+            arrays: Dict[str, np.ndarray] = {}
+            for name, entry in header["arrays"].items():
+                start, nbytes = entry["offset"], entry["nbytes"]
+                view = blob[start : start + nbytes].view(entry["dtype"])
+                arrays[name] = view.reshape(tuple(entry["shape"]))
+        except (KeyError, TypeError, ValueError, OSError) as error:
+            raise SnapshotCorruptError(
+                f"artifact {path.name} array index is malformed: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        return header["meta"], arrays
+
+    @classmethod
+    def _verify_container(cls, path: Path) -> None:
+        """Full-content check: data section hashes to the header digest."""
+        header, data_start = cls._read_header(path)
+        digest = hashlib.sha256()
+        with open(path, "rb") as handle:
+            handle.seek(data_start)
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        if digest.hexdigest() != header.get("data_sha256"):
+            raise SnapshotCorruptError(
+                f"artifact {path.name} data section does not match its "
+                f"recorded checksum"
+            )
+
+    def write_model(self, key: str, meta: Dict[str, Any], arrays) -> Path:
+        path = self.model_path(key)
+        self._write(path, meta, arrays)
+        return path
+
+    def read_model(self, key: str) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        path = self.model_path(key)
+        if not path.exists():
+            raise SnapshotKeyError(f"store holds no artifact for key {key!r}")
+        return self._read(path)
+
+    def verify(self, key: str) -> None:
+        """Checksum the full artifact; raises a typed error if damaged."""
+        path = self.model_path(key)
+        if not path.exists():
+            raise SnapshotKeyError(f"store holds no artifact for key {key!r}")
+        self._verify_container(path)
+
+    def meta(self, key: str) -> Dict[str, Any]:
+        """The parsed JSON header of one artifact (for inspection/CLIs)."""
+        meta, _ = self.read_model(key)
+        return meta
+
+    # -- engine tier (used by EngineCache's disk second tier) ----------
+    def write_engine(self, key: EngineKey, engine) -> Path:
+        arrays: Dict[str, np.ndarray] = {}
+        meta = {
+            "payload": "engine",
+            "layer_id": key.layer_id,
+            "weight_hash": key.weight_hash,
+            "engine": serialize_engine(engine, "e", arrays),
+        }
+        path = self.engine_path(key)
+        self._write(path, meta, arrays)
+        return path
+
+    def read_engine(self, key: EngineKey):
+        path = self.engine_path(key)
+        if not path.exists():
+            raise SnapshotKeyError(f"store holds no engine artifact for {key}")
+        meta, arrays = self._read(path)
+        if meta.get("payload") != "engine":
+            raise SnapshotCorruptError(
+                f"artifact {path.name} is not an engine artifact"
+            )
+        if meta.get("weight_hash") != key.weight_hash:
+            raise SnapshotStaleError(
+                f"engine artifact {path.name} was programmed for weight hash "
+                f"{meta.get('weight_hash')!r}, requested {key.weight_hash!r}"
+            )
+        return restore_engine(meta["engine"], arrays)
+
+
+# ----------------------------------------------------------------------
+# save / load
+# ----------------------------------------------------------------------
+def save(compiled, store: ArtifactStore, *, key: Optional[str] = None) -> str:
+    """Serialize ``compiled`` (a :class:`CompiledModel` or
+    :class:`ShardedModel`) into ``store``; returns the artifact key.
+
+    ``key`` defaults to :func:`artifact_key` of the compiled model's
+    weights, config and shard layout (``fold_bn`` models hash to their
+    canonical folded form, so the default key matches what warm-start
+    flows compute on the pre-fold model).  One caveat: a sharded model
+    cut with ``shard_input_shape`` no longer knows that shape, so the
+    default key omits it — warm-start flows that pass ``input_shape``
+    (the registry does) also pass ``key=`` here, as should you when
+    both sides must agree.  Raises :class:`SnapshotStaleError` when the
+    model's live weights no longer match its programmed engines
+    (mutate-then-save without ``ensure_fresh()``), because such an
+    artifact could never satisfy the bitwise-identity contract.
+    """
+    sharded = compiled if isinstance(compiled, ShardedModel) else None
+    base: CompiledModel = sharded.compiled if sharded is not None else compiled
+
+    writer = _TreeWriter()
+    spec = writer.spec(base.model)
+    arrays = writer.arrays
+
+    from repro.runtime.cache import weight_fingerprint
+
+    engines_meta: List[Dict[str, Any]] = []
+    fingerprints: Dict[str, str] = {}
+    for slot in base._slots:
+        live = weight_fingerprint(slot.weight_fn())
+        if live != slot.fingerprint:
+            raise SnapshotStaleError(
+                f"layer {slot.layer_id!r} weights changed since programming; "
+                f"call ensure_fresh() (and re-run) before saving"
+            )
+        fingerprints[slot.layer_id] = slot.fingerprint
+        # Guarantee the predicted variant exists even if the slot was
+        # never executed (engine_for is a no-op when already programmed).
+        slot.engine_for(slot.predicted_signed)
+        for (signed, _), engine in slot._engines.items():
+            tag = f"e{len(engines_meta)}"
+            meta = serialize_engine(engine, tag, arrays)
+            meta["layer_id"] = slot.layer_id
+            engines_meta.append(meta)
+
+    meta: Dict[str, Any] = {
+        "payload": "model",
+        "created_at": time.time(),
+        "runtime_config": _runtime_config_to_meta(base.config),
+        "module_tree": spec,
+        "fingerprints": fingerprints,
+        "engines": engines_meta,
+        "n_weight_layers": base.n_weight_layers,
+    }
+    if sharded is not None:
+        meta["shards"] = {
+            "n_shards": sharded.plan.n_shards,
+            "link": _link_to_meta(sharded.link),
+            "segments": [
+                {
+                    "index": seg.index,
+                    "step_indices": list(seg.step_indices),
+                    "layer_ids": list(seg.layer_ids),
+                    "weight_bits": float(seg.weight_bits),
+                    "macs": float(seg.macs),
+                    "cost": float(seg.cost),
+                }
+                for seg in sharded.plan.segments
+            ],
+        }
+    else:
+        meta["shards"] = None
+
+    if key is None:
+        key = artifact_key(
+            base.model,
+            base.config,
+            shards=None if sharded is None else sharded.plan.n_shards,
+            link=None if sharded is None else sharded.link,
+        )
+    meta["key"] = key
+    store.write_model(key, meta, arrays)
+    return key
+
+
+def load(
+    store: ArtifactStore,
+    key: str,
+    *,
+    cache: Optional[EngineCache] = None,
+    rng: Optional[np.random.Generator] = None,
+    verify: bool = False,
+):
+    """Restore the artifact under ``key`` into an executable model.
+
+    Returns a :class:`CompiledModel` (or :class:`ShardedModel` for a
+    sharded artifact) whose outputs are bitwise identical to compiling
+    the stored weights from scratch — pinned differentially by
+    ``tests/test_snapshot.py``.  The restored engines are seeded into
+    ``cache`` (default: the process-wide engine cache), so subsequent
+    compilations of the same weights share them.
+
+    The fast default trusts the artifact's recorded programming
+    fingerprints (the content key and the container's declared sizes
+    already pin what the file *is*).  ``verify=True`` additionally
+    checksums the full data section and re-hashes every restored weight
+    tensor against the recorded fingerprints — the audit path.
+
+    Raises :class:`SnapshotKeyError` / :class:`SnapshotCorruptError` /
+    :class:`SnapshotVersionError` for missing / damaged / incompatible
+    artifacts, and :class:`SnapshotStaleError` when (under ``verify``)
+    the artifact's stored weights do not hash to the fingerprints its
+    engines were programmed under.
+    """
+    if verify:
+        store.verify(key)
+    meta, arrays = store.read_model(key)
+    if meta.get("payload") != "model":
+        raise SnapshotCorruptError(f"artifact {key!r} is not a model artifact")
+    try:
+        model = _restore_module(meta["module_tree"], arrays)
+        config = _runtime_config_from_meta(meta["runtime_config"])
+        engines = [
+            (entry, restore_engine(entry, arrays)) for entry in meta["engines"]
+        ]
+        fingerprints = dict(meta["fingerprints"])
+    except (KeyError, ValueError, TypeError) as error:
+        raise SnapshotCorruptError(
+            f"artifact {key!r} is internally inconsistent: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+
+    target = resolve_cache(cache)
+    # Always build the plan against a private, right-sized staging
+    # cache: the target may be too small to hold every seeded engine,
+    # or shared with concurrent compilations that could evict them
+    # mid-build — either would make the identity check below misfire
+    # on a perfectly valid artifact.
+    staging = EngineCache(capacity=max(len(engines), 1))
+    seeded: Dict[int, str] = {}
+    staged: List[Tuple[EngineKey, Any]] = []
+    for entry, engine in engines:
+        layer_id = entry["layer_id"]
+        fingerprint = fingerprints.get(layer_id)
+        if fingerprint is None:
+            raise SnapshotCorruptError(
+                f"artifact {key!r} holds an engine for unknown layer "
+                f"{layer_id!r}"
+            )
+        engine_key = _engine_cache_key(entry, layer_id, fingerprint)
+        staging.put(engine_key, engine)
+        staged.append((engine_key, engine))
+        seeded[id(engine)] = layer_id
+
+    compiled = _compile(
+        model,
+        config,
+        cache=staging,
+        rng=rng,
+        # verify: re-hash every restored weight tensor instead of
+        # trusting the recorded fingerprints; a mismatch makes the slot
+        # miss the seeded cache and trip the identity check below.
+        fingerprints=None if verify else fingerprints,
+    )
+    # Share the restored engines with the caller's cache (best effort —
+    # its LRU policy applies; the compiled model's slots hold strong
+    # references either way), and point the compiled model at it so any
+    # later programming (weight refresh, a batch defying the signedness
+    # prediction) shares engines process-wide, not with the staging
+    # cache.
+    for engine_key, engine in staged:
+        target.put(engine_key, engine)
+    compiled.cache = target
+    for slot in compiled._slots:
+        slot.cache = target
+    # Every slot's engines must be the seeded objects: a slot that
+    # missed the cache programmed from scratch, i.e. its (possibly
+    # re-hashed) weights do not match the fingerprints the artifact's
+    # engines were saved under.
+    for slot in compiled._slots:
+        for engine in slot._engines.values():
+            if id(engine) not in seeded:
+                raise SnapshotStaleError(
+                    f"artifact {key!r}: stored weights for layer "
+                    f"{slot.layer_id!r} do not match the fingerprint its "
+                    f"programmed engines were saved under"
+                )
+
+    shard_meta = meta.get("shards")
+    if shard_meta is None:
+        return compiled
+    try:
+        segments = tuple(
+            ShardSegment(
+                index=seg["index"],
+                step_indices=tuple(seg["step_indices"]),
+                layer_ids=tuple(seg["layer_ids"]),
+                weight_bits=seg["weight_bits"],
+                macs=seg["macs"],
+                cost=seg["cost"],
+            )
+            for seg in shard_meta["segments"]
+        )
+        plan = ShardPlan(n_shards=shard_meta["n_shards"], segments=segments)
+        link = _link_from_meta(shard_meta["link"])
+        n_steps = len(compiled._steps)
+        covered = sorted(i for seg in segments for i in seg.step_indices)
+        if covered != list(range(n_steps)):
+            raise SnapshotCorruptError(
+                f"artifact {key!r}: shard plan covers steps {covered}, "
+                f"plan has {n_steps}"
+            )
+        return _shard(compiled, plan.n_shards, link=link, plan=plan)
+    except (KeyError, TypeError) as error:
+        raise SnapshotCorruptError(
+            f"artifact {key!r} shard section is malformed: "
+            f"{type(error).__name__}: {error}"
+        ) from error

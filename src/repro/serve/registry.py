@@ -5,7 +5,11 @@ is registered (compiled) once and every request afterwards only names
 it.  Registration routes through :func:`repro.runtime.compile` with a
 shared :class:`~repro.runtime.cache.EngineCache`, so re-registering the
 same weights — or registering them under a second name — reuses the
-programmed engines instead of rebuilding them.
+programmed engines instead of rebuilding them.  With a persistent
+:class:`~repro.runtime.ArtifactStore` (``register(..., store=...)``)
+the once extends across processes: registration warm-starts from a
+content-addressed artifact when one exists and writes one back when it
+compiled (see docs/snapshots.md).
 
 Registration and eviction are thread-safe and legal while the server is
 draining traffic: a :class:`CompiledModel` is immutable from the serve
@@ -23,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import nn
 from repro.runtime import (
+    ArtifactStore,
     CompiledModel,
     EngineCache,
     RuntimeConfig,
@@ -31,6 +36,7 @@ from repro.runtime import (
     resolve_cache,
     shard as shard_compiled,
 )
+from repro.runtime import snapshot
 
 
 class UnknownModelError(KeyError):
@@ -44,6 +50,11 @@ class RegisteredModel:
     ``compiled`` is a :class:`~repro.runtime.CompiledModel` or, for a
     sharded deployment, a :class:`~repro.runtime.ShardedModel` — the
     server only needs the shared ``run(batch, rng=...)`` surface.
+
+    ``warm_start`` records whether the image was restored from a
+    persisted artifact instead of compiled from scratch (in which case
+    ``compile_ms`` is the artifact load time), and ``artifact_key`` the
+    content address used, when registration went through a store.
     """
 
     name: str
@@ -51,6 +62,8 @@ class RegisteredModel:
     registered_at: float
     compile_ms: float
     generation: int  # bumped on hot re-registration under the same name
+    warm_start: bool = False
+    artifact_key: Optional[str] = None
 
     @property
     def n_weight_layers(self) -> int:
@@ -88,6 +101,7 @@ class ModelRegistry:
         shards: Optional[int] = None,
         link=None,
         shard_input_shape=None,
+        store: Optional[ArtifactStore] = None,
     ) -> RegisteredModel:
         """Compile ``model`` and serve it as ``name``.
 
@@ -104,6 +118,15 @@ class ModelRegistry:
         sessions (``shards=1``: a single-shard deployment, no
         crossings).  Numerics are unchanged — a sharded run is bitwise
         identical to the monolithic one.
+
+        ``store`` (an :class:`~repro.runtime.ArtifactStore`) warm-starts
+        registration: the content key of ``(model weights, config,
+        shard request)`` is looked up first, and a hit restores the
+        programmed image — bitwise identical, much faster than
+        compiling — while a miss compiles and writes the artifact back
+        so the *next* registration (any process) warm-starts.  A
+        damaged or incompatible artifact degrades to a cold compile;
+        the store can never make registration fail.
         """
         with self._lock:
             previous = self._entries.get(name)
@@ -112,14 +135,44 @@ class ModelRegistry:
                     f"model {name!r} is already registered; "
                     f"pass replace=True to hot-swap it"
                 )
-        # Compile outside the lock: programming can be expensive and must
-        # not stall lookups from the serving hot path.
+        # Compile (or warm-start) outside the lock: programming can be
+        # expensive and must not stall lookups from the serving hot path.
+        key: Optional[str] = None
+        compiled = None
+        warm = False
         start = time.perf_counter()
-        compiled = compile_model(model, config, cache=self.cache)
-        if shards is not None:
-            compiled = shard_compiled(
-                compiled, shards, link=link, input_shape=shard_input_shape
-            )
+        if store is not None:
+            try:
+                key = snapshot.artifact_key(
+                    model, config, shards=shards, link=link,
+                    input_shape=shard_input_shape,
+                )
+            except snapshot.SnapshotError:
+                # The artifact format cannot address this registration
+                # (e.g. a custom encoding): skip the store entirely —
+                # it must never make a registration fail.
+                key = None
+            try:
+                if key is not None:
+                    compiled = snapshot.load(store, key, cache=self.cache)
+                    warm = True
+            except snapshot.SnapshotKeyError:
+                pass  # first registration of this triple: compile below
+            except snapshot.SnapshotError:
+                # Damaged / stale / version-mismatched artifact: serve
+                # from a cold compile (and overwrite it below).
+                compiled = None
+        if compiled is None:
+            compiled = compile_model(model, config, cache=self.cache)
+            if shards is not None:
+                compiled = shard_compiled(
+                    compiled, shards, link=link, input_shape=shard_input_shape
+                )
+            if store is not None and key is not None:
+                try:
+                    snapshot.save(compiled, store, key=key)
+                except (snapshot.SnapshotError, OSError):
+                    pass  # write-back is best-effort; serving comes first
         compile_ms = (time.perf_counter() - start) * 1000.0
         with self._lock:
             previous = self._entries.get(name)
@@ -136,6 +189,8 @@ class ModelRegistry:
                 registered_at=time.time(),
                 compile_ms=compile_ms,
                 generation=(previous.generation + 1) if previous else 0,
+                warm_start=warm,
+                artifact_key=key,
             )
             self._entries[name] = entry
             return entry

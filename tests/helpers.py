@@ -1,12 +1,63 @@
-"""Shared test utilities: numerical gradient checking."""
+"""Shared test utilities: numerical gradient checking and event-based
+synchronization for the serving tests.
+
+The synchronization helpers exist so timing-sensitive serve/shard tests
+never assert on wall-clock windows ("finished within N seconds") or
+sample completion flags at racy moments.  Every wait blocks on the real
+synchronization primitive — the queue's condition variable via
+``next_batch``, the handle's completion event via ``result`` — with one
+generous shared deadline (:data:`DEADLINE`) whose only job is to turn a
+genuine deadlock into a test failure instead of a hang.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+#: Shared upper bound for every blocking wait in the serving tests.
+#: Generous on purpose: reaching it means the event never fired (a real
+#: bug), not that a loaded CI runner was slow.
+DEADLINE = 30.0
+
+
+def next_batch_or_fail(queue, timeout: float = DEADLINE):
+    """Block on the queue's condition variable until a batch releases.
+
+    ``next_batch`` returns ``None`` only when the policy never released
+    a batch before ``timeout`` — so a non-None return *is* the event
+    "the policy (max_batch_size / max_wait) released this batch", with
+    no wall-clock assertion needed on top.
+    """
+    batch = queue.next_batch(timeout=timeout)
+    assert batch is not None, (
+        f"queue released no batch within {timeout} s — the batching "
+        f"policy never fired"
+    )
+    return batch
+
+
+def await_results(handles: Sequence, timeout: float = DEADLINE) -> List:
+    """Block on every handle's completion event; returns their results.
+
+    ``RequestHandle.result`` waits on a ``threading.Event`` set by the
+    worker that completes the request, so this never polls.
+    """
+    return [handle.result(timeout=timeout) for handle in handles]
+
+
+def immediate_results(handles: Sequence) -> List:
+    """Results of handles that completed *synchronously* at submit time.
+
+    Admission verdicts (queue-full, tenant-cap, unknown-model, shutdown)
+    complete the handle inside ``submit`` before it returns, so checking
+    ``done()`` here is not a racy sample — a handle still pending was
+    admitted and will complete through a worker instead.
+    """
+    return [handle.result(timeout=0) for handle in handles if handle.done()]
 
 
 def numerical_grad(

@@ -45,6 +45,8 @@ from repro.serve import (
     percentile,
 )
 
+from .helpers import await_results, immediate_results, next_batch_or_fail
+
 IN_FEATURES = 32
 
 
@@ -89,13 +91,13 @@ class TestRequestQueue:
         assert queue.depth == 2
 
     def test_max_wait_releases_partial_batch(self):
+        # Event-based: the batch is far below max_batch_size, so the
+        # only thing that can release it before the (generous) deadline
+        # is the max_wait timer — a non-None return proves it fired.
         queue = RequestQueue(BatchPolicy(max_batch_size=64, max_wait_s=0.01))
         queue.offer(queued_request(0, "t"))
-        start = time.monotonic()
-        batch = queue.next_batch(timeout=5.0)
-        elapsed = time.monotonic() - start
+        batch = next_batch_or_fail(queue)
         assert [r.request_id for r in batch] == [0]
-        assert elapsed < 2.0  # released by max_wait, not the timeout
 
     def test_round_robin_across_tenants(self):
         queue = RequestQueue(BatchPolicy(max_batch_size=4, max_wait_s=10.0))
@@ -128,17 +130,17 @@ class TestRequestQueue:
 
     def test_full_lane_not_blocked_by_other_models_partial_lane(self):
         # A lone young request for m1 must not head-of-line block m2's
-        # already-full batch behind m1's max_wait deadline.
-        queue = RequestQueue(BatchPolicy(max_batch_size=4, max_wait_s=5.0))
+        # already-full batch behind m1's max_wait deadline.  Event-based
+        # proof: m1's lane cannot release before its 60 s max_wait and
+        # the deadline is far shorter, so the only batch the queue can
+        # hand out is m2's full one — released immediately.
+        queue = RequestQueue(BatchPolicy(max_batch_size=4, max_wait_s=60.0))
         queue.offer(queued_request(0, "t", model="m1"))
         for i in range(1, 5):
             queue.offer(queued_request(i, "t", model="m2"))
-        start = time.monotonic()
-        batch = queue.next_batch(timeout=10.0)
-        elapsed = time.monotonic() - start
+        batch = next_batch_or_fail(queue)
         assert {r.model for r in batch} == {"m2"}
         assert len(batch) == 4
-        assert elapsed < 1.0  # released immediately, not after m1's wait
 
     def test_bounded_depth_counts_samples(self):
         queue = RequestQueue(BatchPolicy(max_batch_size=4, max_queue_depth=4))
@@ -261,10 +263,10 @@ class TestServerExecution:
         )
         pool = requests_pool(6)
         handles = [server.submit("m", pool[i : i + 1]) for i in range(6)]
-        statuses = [h.result(timeout=1.0).status for h in handles if h.done()]
+        statuses = [r.status for r in immediate_results(handles)]
         assert statuses == [RequestStatus.REJECTED_QUEUE_FULL] * 2
         server.start()
-        completed = [h.result(timeout=30.0) for h in handles[:4]]
+        completed = await_results(handles[:4])
         server.stop()
         assert all(r.ok for r in completed)
         snapshot = server.snapshot()
@@ -681,8 +683,9 @@ class TestLoadGenerator:
             for _, tenant, model, x in plan
         ]
         rejected = [
-            h for _, h in handles
-            if h.done() and h.result().status is RequestStatus.REJECTED_QUEUE_FULL
+            r
+            for r in immediate_results([h for _, h in handles])
+            if r.status is RequestStatus.REJECTED_QUEUE_FULL
         ]
         assert len(rejected) == 6
         server.start()

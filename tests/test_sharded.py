@@ -36,6 +36,8 @@ from repro.runtime import (
 from repro.runtime.sharded import _balanced_cuts
 from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
 
+from .helpers import await_results
+
 HW = 8  # input images are (3, HW, HW)
 
 
@@ -410,7 +412,7 @@ class TestServeIntegration:
             handles = [
                 server.submit("sharded-conv", x, tenant="alice") for _ in range(4)
             ]
-            results = [h.result(timeout=10.0) for h in handles]
+            results = await_results(handles)
         assert all(r.ok for r in results)
         # The serving layer adds scheduling, never arithmetic: executed
         # batches replay bitwise through the seed reference path.

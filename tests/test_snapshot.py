@@ -1,0 +1,591 @@
+"""Differential tests for the persistent compiled-artifact store.
+
+The load-bearing guarantees:
+
+* **bitwise identity** — for every model family (conv / linear /
+  ReBranch) × shard count × seed, with and without bit-line noise,
+  ``load(store, save(compiled, store))`` produces a model whose outputs
+  and stats are bitwise identical to the freshly compiled one at the
+  same execution RNG — including across a process boundary;
+* **content addressing** — the artifact key is a pure function of
+  (weights, config, shard request): equal inputs collide, any
+  difference (a weight bit, a flag, a requires_grad placement) misses;
+* **typed failure** — missing keys, truncated/corrupted containers,
+  version mismatches and stale weight hashes raise the dedicated
+  :class:`SnapshotError` subclasses, and the serving layers
+  (``EngineCache`` disk tier, ``ModelRegistry.register``) degrade to
+  recompiling instead of crashing.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cim import BitlineModel, MacroConfig
+from repro.cim.cells import ROM_1T, SRAM_CIM_6T
+from repro.cim.encoding import UnaryPulseEncoding
+from repro.rebranch.branch import ReBranchConv2d
+from repro.runtime import (
+    ArtifactStore,
+    EngineCache,
+    RuntimeConfig,
+    ShardedModel,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotKeyError,
+    SnapshotStaleError,
+    SnapshotVersionError,
+    artifact_key,
+    compile_model,
+    load,
+    save,
+    set_default_cache,
+)
+from repro.runtime import snapshot as snapshot_mod
+from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
+
+HW = 8  # input images are (3, HW, HW)
+
+
+def conv_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(6, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(8, 10, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(10 * (HW // 2) ** 2, 4, rng=rng),
+    )
+
+
+def linear_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(3 * HW * HW, 32, rng=rng),
+        nn.ReLU(),
+        nn.Linear(32, 16, rng=rng),
+        nn.Tanh(),
+        nn.Linear(16, 4, rng=rng),
+    )
+
+
+def rebranch_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        ReBranchConv2d(nn.Conv2d(8, 8, 3, padding=1, rng=rng), d=2, u=2, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+MODELS = {
+    "conv": conv_model,
+    "linear": linear_model,
+    "rebranch": rebranch_model,
+}
+
+
+def model_input(name, n=3, seed=1):
+    x = np.random.default_rng(seed).normal(size=(n, 3, HW, HW))
+    if name == "linear":
+        return x.reshape(n, -1)
+    return x
+
+
+def noisy_runtime_config(sigma=0.4):
+    return RuntimeConfig(
+        rom_config=MacroConfig(
+            cell=ROM_1T, bitline=BitlineModel(noise_sigma_counts=sigma)
+        ),
+        sram_config=MacroConfig(
+            cell=SRAM_CIM_6T, bitline=BitlineModel(noise_sigma_counts=sigma)
+        ),
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# Differential round trips: save -> load -> run is bitwise identical
+# ----------------------------------------------------------------------
+class TestRoundTripIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_shards", [None, 1, 2])
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_bitwise_identity(self, store, name, n_shards, seed):
+        model = MODELS[name](seed)
+        compiled = compile_model(
+            model, RuntimeConfig(), cache=EngineCache(), shards=n_shards
+        )
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        assert isinstance(loaded, ShardedModel) == (n_shards is not None)
+        x = model_input(name, seed=seed + 10)
+        expected, expected_stats = compiled.run(x, rng=np.random.default_rng(9))
+        restored, restored_stats = loaded.run(x, rng=np.random.default_rng(9))
+        assert np.array_equal(expected, restored)
+        assert expected_stats == restored_stats
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_shards", [None, 2])
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_bitwise_identity_under_bitline_noise(self, store, name, n_shards, seed):
+        # Noise draws happen at execution time, per tile, in plan order:
+        # the restored engines must consume the RNG stream identically.
+        model = MODELS[name](seed)
+        compiled = compile_model(
+            model, noisy_runtime_config(), cache=EngineCache(), shards=n_shards
+        )
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        x = model_input(name, seed=seed + 20)
+        expected, expected_stats = compiled.run(x, rng=np.random.default_rng(5))
+        restored, restored_stats = loaded.run(x, rng=np.random.default_rng(5))
+        assert np.array_equal(expected, restored)
+        assert expected_stats == restored_stats
+        # Different execution seeds must still differ (noise is real).
+        other, _ = loaded.run(x, rng=np.random.default_rng(6))
+        assert not np.array_equal(expected, other)
+
+    def test_verify_load_path_is_also_bitwise(self, store):
+        compiled = compile_model(conv_model(), RuntimeConfig(), cache=EngineCache())
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache(), verify=True)
+        x = model_input("conv")
+        expected, _ = compiled.run(x, rng=np.random.default_rng(3))
+        restored, _ = loaded.run(x, rng=np.random.default_rng(3))
+        assert np.array_equal(expected, restored)
+
+    def test_default_encoding_round_trips(self, store):
+        # The compiled default word-line encoding is part of the config
+        # and must survive the artifact (it changes execution arithmetic).
+        config = RuntimeConfig(encoding=UnaryPulseEncoding())
+        compiled = compile_model(conv_model(), config, cache=EngineCache())
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        assert isinstance(loaded.config.encoding, UnaryPulseEncoding)
+        x = np.abs(model_input("conv"))  # unsigned: the encoding applies
+        expected, _ = compiled.run(x, rng=np.random.default_rng(4))
+        restored, _ = loaded.run(x, rng=np.random.default_rng(4))
+        assert np.array_equal(expected, restored)
+
+    def test_custom_composite_round_trips_with_layer_ids(self, store):
+        class Block(nn.Module):
+            def __init__(self, rng):
+                super().__init__()
+                self.body = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+                self.act = nn.ReLU()
+
+            def forward(self, x):
+                return self.act(self.body(x))
+
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            Block(rng), nn.Flatten(), nn.Linear(4 * HW * HW, 2, rng=rng)
+        )
+        compiled = compile_model(model, RuntimeConfig(), cache=EngineCache())
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        # Layer ids (and therefore engine-cache keys) are preserved even
+        # though the custom class is restored as a generic composite.
+        assert [s.layer_id for s in loaded._slots] == [
+            s.layer_id for s in compiled._slots
+        ]
+        x = model_input("conv")
+        expected, _ = compiled.run(x, rng=np.random.default_rng(2))
+        restored, _ = loaded.run(x, rng=np.random.default_rng(2))
+        assert np.array_equal(expected, restored)
+
+    def test_pipelined_stream_replays_bitwise(self, store):
+        compiled = compile_model(
+            conv_model(), RuntimeConfig(), cache=EngineCache(), shards=2
+        )
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        batches = [model_input("conv", seed=s) for s in range(3)]
+        expected = compiled.run_stream(batches, seed=11)
+        restored = loaded.run_stream(batches, seed=11)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(expected.outputs, restored.outputs)
+        )
+
+    def test_loaded_model_weights_are_writable(self, store):
+        # The container is mapped copy-on-write: restored parameters
+        # must accept in-place training updates like compiled ones.
+        compiled = compile_model(linear_model(), RuntimeConfig(), cache=EngineCache())
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        first = loaded.model[0]
+        first.weight.data[0, 0] += 1.0
+        assert loaded.ensure_fresh() == 1
+
+    def test_save_load_save_is_stable(self, store):
+        # A loaded model re-saves under the same content key with the
+        # same engines (the artifact is a fixed point).
+        compiled = compile_model(conv_model(), RuntimeConfig(), cache=EngineCache())
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        assert save(loaded, store) == key
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+class TestArtifactKey:
+    def test_equal_weights_equal_key(self):
+        assert artifact_key(linear_model(0)) == artifact_key(linear_model(0))
+
+    def test_weight_change_changes_key(self):
+        changed = linear_model(0)
+        changed[0].weight.data[0, 0] += 1e-9
+        assert artifact_key(linear_model(0)) != artifact_key(changed)
+
+    def test_config_changes_key(self):
+        model = linear_model(0)
+        assert artifact_key(model) != artifact_key(
+            model, RuntimeConfig(activation_bits=6)
+        )
+
+    def test_shard_request_changes_key(self):
+        model = linear_model(0)
+        assert artifact_key(model) != artifact_key(model, shards=2)
+        assert artifact_key(model, shards=2) != artifact_key(model, shards=4)
+
+    def test_placement_flags_change_key(self):
+        frozen = linear_model(0)
+        frozen.freeze()  # ROM placement is content, not convention
+        assert artifact_key(linear_model(0)) != artifact_key(frozen)
+
+    def test_key_covers_batchnorm_models(self):
+        # Warm-start flows compute the key on the pre-fold model.
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+        )
+        assert artifact_key(model, RuntimeConfig(fold_bn=True))
+
+
+# ----------------------------------------------------------------------
+# Cross-process identity
+# ----------------------------------------------------------------------
+_CHILD_SCRIPT = """
+import sys
+import numpy as np
+from repro.runtime import ArtifactStore, EngineCache, load
+
+store_dir, key, x_path, out_path = sys.argv[1:5]
+loaded = load(ArtifactStore(store_dir), key, cache=EngineCache())
+x = np.load(x_path)
+y, stats = loaded.run(x, rng=np.random.default_rng(9))
+np.save(out_path, y)
+print(stats.total_energy_fj)
+"""
+
+
+class TestCrossProcess:
+    def test_subprocess_load_matches_parent_fresh_compile(self, store, tmp_path):
+        # A different process restoring the artifact must reproduce the
+        # parent's fresh-compile outputs bitwise — this catches any
+        # accidental dependence on in-process state (shared caches,
+        # interned objects, RNG order).
+        model = conv_model(3)
+        compiled = compile_model(model, noisy_runtime_config(), cache=EngineCache())
+        key = save(compiled, store)
+        x = model_input("conv", seed=42)
+        x_path = tmp_path / "x.npy"
+        out_path = tmp_path / "y.npy"
+        np.save(x_path, x)
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _CHILD_SCRIPT,
+                str(store.root),
+                key,
+                str(x_path),
+                str(out_path),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        expected, stats = compiled.run(x, rng=np.random.default_rng(9))
+        child_outputs = np.load(out_path)
+        assert np.array_equal(expected, child_outputs)
+        assert float(result.stdout.strip()) == stats.total_energy_fj
+
+
+# ----------------------------------------------------------------------
+# Robustness: typed failures, graceful serving degradation
+# ----------------------------------------------------------------------
+class TestRobustness:
+    def _saved(self, store, name="linear"):
+        compiled = compile_model(MODELS[name](), RuntimeConfig(), cache=EngineCache())
+        key = save(compiled, store)
+        return compiled, key
+
+    def test_missing_key_is_typed(self, store):
+        with pytest.raises(SnapshotKeyError):
+            load(store, "0" * 64)
+        with pytest.raises(SnapshotError):
+            store.meta("0" * 64)
+
+    def test_truncated_artifact_is_typed(self, store):
+        _, key = self._saved(store)
+        path = store.model_path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(SnapshotCorruptError):
+            load(store, key)
+
+    def test_garbage_artifact_is_typed(self, store):
+        _, key = self._saved(store)
+        store.model_path(key).write_bytes(b"not an artifact at all")
+        with pytest.raises(SnapshotCorruptError):
+            load(store, key)
+
+    def test_empty_artifact_is_typed(self, store):
+        _, key = self._saved(store)
+        store.model_path(key).write_bytes(b"")
+        with pytest.raises(SnapshotCorruptError):
+            load(store, key)
+
+    def test_version_mismatch_is_typed(self, store, monkeypatch):
+        compiled = compile_model(linear_model(), RuntimeConfig(), cache=EngineCache())
+        monkeypatch.setattr(snapshot_mod, "VERSION", snapshot_mod.VERSION + 1)
+        key = save(compiled, store)
+        monkeypatch.undo()
+        with pytest.raises(SnapshotVersionError):
+            load(store, key)
+
+    def test_header_damage_is_typed(self, store):
+        _, key = self._saved(store)
+        path = store.model_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[40] ^= 0xFF  # inside the JSON header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotCorruptError):
+            load(store, key)
+
+    def test_data_corruption_fails_checksum_verify(self, store):
+        _, key = self._saved(store)
+        path = store.model_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-100] ^= 0xFF  # inside the array data section
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotCorruptError):
+            store.verify(key)
+        with pytest.raises(SnapshotCorruptError):
+            load(store, key, verify=True)
+
+    def test_stale_fingerprints_raise_under_verify(self, store):
+        _, key = self._saved(store)
+        path = store.model_path(key)
+        meta, arrays = store.read_model(key)
+        meta["fingerprints"] = {
+            layer: "0" * 40 for layer in meta["fingerprints"]
+        }
+        store._write(path, meta, {k: np.asarray(v) for k, v in arrays.items()})
+        with pytest.raises(SnapshotStaleError):
+            load(store, key, verify=True)
+
+    def test_tampered_weights_raise_under_verify(self, store):
+        _, key = self._saved(store)
+        path = store.model_path(key)
+        meta, arrays = store.read_model(key)
+        arrays = {k: np.array(v) for k, v in arrays.items()}
+        weight_name = meta["module_tree"]["children"][0][1]["weight"]["array"]
+        arrays[weight_name][0, 0] += 1.0
+        store._write(path, meta, arrays)
+        with pytest.raises(SnapshotStaleError):
+            load(store, key, verify=True)
+
+    def test_save_refuses_stale_engines(self, store):
+        compiled = compile_model(linear_model(), RuntimeConfig(), cache=EngineCache())
+        compiled.model[0].weight.data[0, 0] += 1.0
+        with pytest.raises(SnapshotStaleError):
+            save(compiled, store)
+        # ensure_fresh re-fingerprints; saving then round-trips bitwise.
+        assert compiled.ensure_fresh() == 1
+        key = save(compiled, store)
+        loaded = load(store, key, cache=EngineCache())
+        x = model_input("linear")
+        expected, _ = compiled.run(x, rng=np.random.default_rng(1))
+        restored, _ = loaded.run(x, rng=np.random.default_rng(1))
+        assert np.array_equal(expected, restored)
+
+    def test_load_with_small_cache_is_not_spuriously_stale(self, store):
+        # A target cache smaller than the artifact's engine count must
+        # not evict seeded engines mid-build and misreport staleness:
+        # load stages privately, then shares best-effort.
+        compiled, key = self._saved(store)
+        loaded = load(store, key, cache=EngineCache(capacity=1))
+        x = model_input("linear")
+        expected, _ = compiled.run(x, rng=np.random.default_rng(1))
+        restored, _ = loaded.run(x, rng=np.random.default_rng(1))
+        assert np.array_equal(expected, restored)
+
+    def test_custom_encoding_subclass_is_not_addressable(self, store):
+        # A behaviour-overriding subclass must not content-address (or
+        # serialize) as its base encoding: a warm start would silently
+        # restore the wrong arithmetic.
+        class TweakedPulse(UnaryPulseEncoding):
+            pass
+
+        config = RuntimeConfig(encoding=TweakedPulse())
+        with pytest.raises(SnapshotError):
+            artifact_key(linear_model(), config)
+        compiled = compile_model(linear_model(), config, cache=EngineCache())
+        with pytest.raises(SnapshotError):
+            save(compiled, store)
+
+    def test_registry_skips_store_for_unaddressable_config(self, store):
+        # The store must never make a registration fail — even when the
+        # artifact format cannot address the configuration at all.
+        class TweakedPulse(UnaryPulseEncoding):
+            pass
+
+        registry = ModelRegistry(cache=EngineCache())
+        entry = registry.register(
+            "m",
+            linear_model(),
+            RuntimeConfig(encoding=TweakedPulse()),
+            store=store,
+        )
+        assert not entry.warm_start and entry.artifact_key is None
+        assert store.keys() == []  # nothing mis-keyed was written back
+
+    def test_key_is_fold_insensitive(self, store):
+        # The registry keys the model as registered (pre-fold) while
+        # save() defaults to the compiled image (post-fold); with
+        # fold_bn both must hash to the same canonical key, so a
+        # quickstart-saved artifact is reachable by warm start.
+        def bn_model():
+            rng = np.random.default_rng(0)
+            return nn.Sequential(
+                nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+                nn.BatchNorm2d(4),
+                nn.ReLU(),
+                nn.Flatten(),
+                nn.Linear(4 * HW * HW, 2, rng=rng),
+            )
+
+        config = RuntimeConfig(fold_bn=True)
+        pre_fold_key = artifact_key(bn_model(), config)
+        model = bn_model()
+        compiled = compile_model(model, config, cache=EngineCache())  # folds in place
+        assert save(compiled, store) == pre_fold_key
+        registry = ModelRegistry(cache=EngineCache())
+        entry = registry.register("m", bn_model(), config, store=store)
+        assert entry.warm_start and entry.artifact_key == pre_fold_key
+
+    def test_load_with_retention_free_cache(self, store):
+        # capacity=0 reproduces the seed per-call behaviour; load must
+        # still restore (through a private staging cache), not recompile.
+        compiled, key = self._saved(store)
+        loaded = load(store, key, cache=EngineCache(capacity=0))
+        x = model_input("linear")
+        expected, _ = compiled.run(x, rng=np.random.default_rng(1))
+        restored, _ = loaded.run(x, rng=np.random.default_rng(1))
+        assert np.array_equal(expected, restored)
+
+    def test_engine_cache_disk_tier_degrades_to_recompile(self, store):
+        model = linear_model()
+        warm = EngineCache(store=store)
+        compile_model(model, RuntimeConfig(), cache=warm)
+        assert warm.stats.programmed > 0
+        assert store.engine_count() == warm.stats.programmed
+
+        # Second "process": every engine restores from disk.
+        second = EngineCache(store=store)
+        compiled = compile_model(linear_model(), RuntimeConfig(), cache=second)
+        assert second.stats.programmed == 0
+        assert second.stats.disk_hits == warm.stats.programmed
+
+        # Corrupt every engine artifact: the tier falls back to
+        # programming from scratch — no exception reaches the caller.
+        for path in (store.root / "engines").glob("*.rcma"):
+            path.write_bytes(b"garbage")
+        third = EngineCache(store=store)
+        recompiled = compile_model(linear_model(), RuntimeConfig(), cache=third)
+        assert third.stats.programmed > 0
+        assert third.stats.disk_misses >= third.stats.programmed
+        x = model_input("linear")
+        expected, _ = compiled.run(x, rng=np.random.default_rng(1))
+        again, _ = recompiled.run(x, rng=np.random.default_rng(1))
+        assert np.array_equal(expected, again)
+
+    def test_registry_degrades_to_recompile_and_keeps_serving(self, store):
+        registry = ModelRegistry(cache=EngineCache())
+        entry = registry.register("m", linear_model(), store=store)
+        assert not entry.warm_start and entry.artifact_key in store
+
+        # Corrupt the model artifact: re-registration must recompile
+        # and the server must keep serving.
+        path = store.model_path(entry.artifact_key)
+        path.write_bytes(path.read_bytes()[:64])
+        fresh = ModelRegistry(cache=EngineCache())
+        recompiled = fresh.register("m", linear_model(), store=store)
+        assert not recompiled.warm_start
+        with InferenceServer(fresh, BatchPolicy(max_batch_size=4)) as server:
+            result = server.submit("m", model_input("linear", n=1)).result(
+                timeout=30.0
+            )
+        assert result.ok
+
+    def test_registry_warm_start_is_bitwise(self, store):
+        cold = ModelRegistry(cache=EngineCache())
+        first = cold.register("m", linear_model(), store=store)
+        warm = ModelRegistry(cache=EngineCache())
+        second = warm.register("m", linear_model(), store=store)
+        assert second.warm_start
+        assert second.artifact_key == first.artifact_key
+        x = model_input("linear")
+        expected, _ = first.compiled.run(x, rng=np.random.default_rng(2))
+        restored, _ = second.compiled.run(x, rng=np.random.default_rng(2))
+        assert np.array_equal(expected, restored)
+
+    def test_sharded_registry_warm_start(self, store):
+        cold = ModelRegistry(cache=EngineCache())
+        cold.register("s", conv_model(), shards=2, store=store)
+        warm = ModelRegistry(cache=EngineCache())
+        entry = warm.register("s", conv_model(), shards=2, store=store)
+        assert entry.warm_start and entry.n_shards == 2
+
+    def test_default_cache_is_seeded_by_load(self, store, tmp_path):
+        # load() without an explicit cache seeds the process-wide one.
+        _, key = self._saved(store)
+        previous = set_default_cache(EngineCache())
+        try:
+            load(store, key)
+            fresh = compile_model(linear_model(), RuntimeConfig())
+            from repro.runtime import get_default_cache
+
+            assert get_default_cache().stats.programmed == 0
+            assert fresh.n_weight_layers == 3
+        finally:
+            set_default_cache(previous)
