@@ -27,6 +27,25 @@ from repro.nn import functional as F
 from repro.quant.quantizer import QuantSpec, quantize
 
 
+def validate_groups(out_channels: int, in_per_group: int, groups: int, in_channels: int) -> None:
+    """Shared validation of a grouped convolution's channel layout.
+
+    One source for both the reference path and the runtime's per-group
+    lowering, so their error behaviour cannot drift.
+    """
+    if groups < 1 or out_channels % groups:
+        raise ValueError(
+            f"groups={groups} must be >= 1 and divide out channels "
+            f"({out_channels})"
+        )
+    if in_channels != in_per_group * groups:
+        raise ValueError(
+            f"input has {in_channels} channels but the grouped weight "
+            f"expects {in_per_group * groups} ({groups} groups x "
+            f"{in_per_group})"
+        )
+
+
 @dataclass
 class _Tile:
     macro: CimMacro
@@ -183,16 +202,45 @@ def reference_cim_conv2d(
     activation_bits: int = 8,
     rng: Optional[np.random.Generator] = None,
     encoding: Optional[ActivationEncoding] = None,
+    groups: int = 1,
 ) -> Tuple[np.ndarray, MacroStats]:
-    """The seed per-call convolution path (see :func:`reference_cim_linear`)."""
+    """The seed per-call convolution path (see :func:`reference_cim_linear`).
+
+    ``groups`` partitions channels into independent convolutions (a
+    depthwise conv is ``groups == in_channels``): group ``g`` runs its
+    channel slice through its own macro set, in group index order
+    against the shared ``rng``, with per-group batch-global activation
+    quantization and per-group signedness — the exact semantics the
+    compiled runtime's per-group engines implement.  Stats sum over
+    groups (sequential word-line streaming).
+    """
     x = np.asarray(x, dtype=np.float64)
     weight = np.asarray(weight, dtype=np.float64)
     n = x.shape[0]
-    oc, ic, kh, kw = weight.shape
+    oc, icg, kh, kw = weight.shape
+    if groups != 1:
+        validate_groups(oc, icg, groups, x.shape[1])
+        ocg = oc // groups
+        outs = []
+        total = MacroStats()
+        for g in range(groups):
+            out, stats = reference_cim_conv2d(
+                x[:, g * icg : (g + 1) * icg],
+                weight[g * ocg : (g + 1) * ocg],
+                stride=stride,
+                padding=padding,
+                config=config,
+                activation_bits=activation_bits,
+                rng=rng,
+                encoding=encoding,
+            )
+            total = total + stats
+            outs.append(out)
+        return np.concatenate(outs, axis=1), total
     cols, (out_h, out_w) = F.im2col(
         x, (kh, kw), (stride, stride), (padding, padding)
     )  # (N, C*kh*kw, P)
-    patches = cols.transpose(0, 2, 1).reshape(-1, ic * kh * kw)  # (N*P, K)
+    patches = cols.transpose(0, 2, 1).reshape(-1, icg * kh * kw)  # (N*P, K)
     flat, stats = reference_cim_linear(
         patches, weight.reshape(oc, -1), config, activation_bits, rng, encoding
     )
@@ -250,19 +298,44 @@ def cim_conv2d(
     rng: Optional[np.random.Generator] = None,
     encoding: Optional[ActivationEncoding] = None,
     cache=None,
+    groups: int = 1,
 ) -> Tuple[np.ndarray, MacroStats]:
     """Convolution through CiM: im2col + :func:`cim_linear` semantics.
 
-    ``x``: (N, C, H, W) float; ``weight``: (O, C, kh, kw) float.
+    ``x``: (N, C, H, W) float; ``weight``: (O, C / groups, kh, kw) float.
     Returns the float output (N, O, H', W') and aggregated macro stats.
     Like :func:`cim_linear`, a compile-and-run shim over the runtime's
     cached engines; bitwise identical to :func:`reference_cim_conv2d`.
+    ``groups > 1`` lowers to one cached engine per channel group (see
+    :func:`repro.runtime.engine.grouped_conv_execute`).
     """
-    from repro.runtime.engine import conv_engine, conv_patches  # lazy import
+    from repro.runtime.engine import (  # lazy: avoids import cycle
+        conv_engine,
+        conv_patches,
+        grouped_conv_execute,
+    )
 
     config = config if config is not None else MacroConfig()
     x = np.asarray(x, dtype=np.float64)
     weight = np.asarray(weight, dtype=np.float64)
+    if groups != 1:
+        ocg = weight.shape[0] // max(groups, 1)
+
+        def engine_for(g: int, signed: bool):
+            return conv_engine(
+                weight[g * ocg : (g + 1) * ocg],
+                stride=stride,
+                padding=padding,
+                config=config,
+                activation_bits=activation_bits,
+                signed_inputs=signed,
+                cache=cache,
+            )
+
+        return grouped_conv_execute(
+            x, weight.shape, groups, stride, padding, engine_for,
+            rng=rng, encoding=encoding,
+        )
     # Signedness is a property of the im2col patches (what actually gets
     # quantized), not of the raw input: a stride larger than the kernel
     # can skip every negative pixel.

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,12 +37,24 @@ from repro.runtime import (
 
 @dataclass
 class RuntimeStudyConfig:
+    """Study budget.
+
+    ``model`` selects a zoo network (``resnet8``, ``resnet18``,
+    ``mobilenet``, ``vgg8``, …) instead of the synthetic MLP: it is
+    built at ``width_mult`` for ``image_hw``-pixel inputs and deployed
+    with batch-norm folding — the graph-plan runtime executes residual
+    and grouped-conv models end to end.  ``None`` keeps the MLP.
+    """
+
     in_features: int = 1024
     layer_widths: Sequence[int] = (512, 256)
     num_classes: int = 10
     n_requests: int = 32
     repeats: int = 3
     seed: int = 0
+    model: Optional[str] = None
+    width_mult: float = 0.25
+    image_hw: int = 16
 
 
 def fast_config() -> RuntimeStudyConfig:
@@ -98,7 +110,19 @@ class RuntimeStudyResult:
         ]
 
 
-def _build_model(config: RuntimeStudyConfig) -> nn.Module:
+def _build_model(config: RuntimeStudyConfig) -> Tuple[nn.Module, RuntimeConfig]:
+    if config.model is not None:
+        from repro import models
+
+        model = models.build_model(
+            config.model,
+            num_classes=config.num_classes,
+            width_mult=config.width_mult,
+            rng=np.random.default_rng(config.seed),
+        )
+        model.eval()
+        # Zoo models carry BatchNorm; deployment folds it exactly once.
+        return model, RuntimeConfig(fold_bn=True)
     rng = np.random.default_rng(config.seed)
     layers: List[nn.Module] = []
     width = config.in_features
@@ -106,7 +130,16 @@ def _build_model(config: RuntimeStudyConfig) -> nn.Module:
         layers += [nn.Linear(width, next_width, rng=rng), nn.ReLU()]
         width = next_width
     layers.append(nn.Linear(width, config.num_classes, rng=rng))
-    return nn.Sequential(*layers)
+    return nn.Sequential(*layers), RuntimeConfig()
+
+
+def _requests(config: RuntimeStudyConfig) -> np.ndarray:
+    rng = np.random.default_rng(config.seed + 1)
+    if config.model is not None:
+        return rng.normal(
+            size=(config.n_requests, 3, config.image_hw, config.image_hw)
+        )
+    return rng.normal(size=(config.n_requests, config.in_features))
 
 
 def _time_calls(fn, calls, repeats: int) -> Tuple[float, list]:
@@ -125,14 +158,12 @@ def _time_calls(fn, calls, repeats: int) -> Tuple[float, list]:
 def run(config: RuntimeStudyConfig = None) -> RuntimeStudyResult:
     """Measure compiled vs seed per-call inference on both regimes."""
     config = config if config is not None else fast_config()
-    model = _build_model(config)
-    requests = np.random.default_rng(config.seed + 1).normal(
-        size=(config.n_requests, config.in_features)
-    )
+    model, runtime_config = _build_model(config)
+    requests = _requests(config)
 
     cache = EngineCache()
     start = time.perf_counter()
-    compiled = compile_model(model, RuntimeConfig(), cache=cache)
+    compiled = compile_model(model, runtime_config, cache=cache)
     compile_ms = (time.perf_counter() - start) * 1000.0
     result = RuntimeStudyResult(
         compile_ms=compile_ms,

@@ -20,7 +20,7 @@ compiled model — sharding is scheduling, never arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,15 @@ from repro.runtime import RuntimeConfig, compile_model, shard, stream_rng
 
 @dataclass
 class ShardStudyConfig:
+    """Study budget.
+
+    ``model`` selects a zoo network (``resnet8``, ``resnet18``,
+    ``mobilenet``, …) instead of the synthetic conv stack: it is built
+    at ``width_mult``, deployed with batch-norm folding, and cut across
+    the shard sweep like any other plan — residual diamonds stay whole
+    (single-edge-frontier cuts).  ``None`` keeps the conv stack.
+    """
+
     image_hw: int = 16
     channels: Sequence[int] = (8, 12, 12, 16)
     num_classes: int = 10
@@ -38,6 +47,8 @@ class ShardStudyConfig:
     shard_counts: Sequence[int] = (1, 2, 4)
     queue_depth: int = 2
     seed: int = 0
+    model: Optional[str] = None
+    width_mult: float = 0.25
 
 
 def fast_config() -> ShardStudyConfig:
@@ -99,7 +110,19 @@ class ShardStudyResult:
         ]
 
 
-def _build_model(config: ShardStudyConfig) -> nn.Module:
+def _build_model(config: ShardStudyConfig) -> Tuple[nn.Module, RuntimeConfig]:
+    if config.model is not None:
+        from repro import models
+
+        model = models.build_model(
+            config.model,
+            num_classes=config.num_classes,
+            width_mult=config.width_mult,
+            rng=np.random.default_rng(config.seed),
+        )
+        model.eval()
+        # Zoo models carry BatchNorm; deployment folds it exactly once.
+        return model, RuntimeConfig(fold_bn=True)
     rng = np.random.default_rng(config.seed)
     layers: List[nn.Module] = []
     width = 3
@@ -112,15 +135,15 @@ def _build_model(config: ShardStudyConfig) -> nn.Module:
         nn.Flatten(),
         nn.Linear(width * hw * hw, config.num_classes, rng=rng),
     ]
-    return nn.Sequential(*layers)
+    return nn.Sequential(*layers), RuntimeConfig()
 
 
 def run(config: ShardStudyConfig = None) -> ShardStudyResult:
     """Execute the micro-batch stream at every shard count and compare
     the serial and pipelined makespans measured from it."""
     config = config if config is not None else fast_config()
-    model = _build_model(config)
-    compiled = compile_model(model, RuntimeConfig())
+    model, runtime_config = _build_model(config)
+    compiled = compile_model(model, runtime_config)
     input_shape = (1, 3, config.image_hw, config.image_hw)
     batches = [
         np.random.default_rng([config.seed + 1, i]).normal(

@@ -71,3 +71,6 @@ class ConvBNAct(nn.Module):
 
     def forward(self, x):
         return self.act(self.bn(self.conv(x)))
+
+    #: conv -> bn -> act is the registration-order chain.
+    plan_forward = nn.plan_serial

@@ -78,6 +78,9 @@ class DarknetBackbone(nn.Module):
     def forward(self, x):
         return self.layers(x)
 
+    #: a single Sequential child: the registration-order chain.
+    plan_forward = nn.plan_serial
+
 
 def darknet19(
     in_channels: int = 3,

@@ -44,6 +44,12 @@ class DepthwiseSeparable(nn.Module):
     def forward(self, x):
         return self.pointwise(self.depthwise(x))
 
+    def plan_forward(self, builder, x):
+        """Depthwise then pointwise — declared explicitly so the runtime
+        lowers the depthwise conv through its per-group engines."""
+        x = builder.child(self.depthwise, "depthwise", x)
+        return builder.child(self.pointwise, "pointwise", x)
+
 
 #: (out_channels, stride) of the standard MobileNet-v1 body, shortened
 #: to CIFAR scale (three downsampling stages instead of five).
@@ -89,6 +95,9 @@ class MobileNet(nn.Module):
     def forward(self, x):
         x = self.features(x)
         return self.fc(self.flatten(self.pool(x)))
+
+    #: forward applies the children in registration order.
+    plan_forward = nn.plan_serial
 
     def feature_extractor(self) -> nn.Module:
         return self.features

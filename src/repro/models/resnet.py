@@ -40,6 +40,20 @@ class BasicBlock(nn.Module):
         out = self.conv2(self.conv1(x))
         return self.act(out + self.shortcut(x))
 
+    def plan_forward(self, builder, x):
+        """Declare the residual dataflow for the deployment runtime.
+
+        The input fans out to the main path and the shortcut; the two
+        rejoin at an explicit add before the activation.  Declaration
+        order (conv1, conv2, shortcut, add, act) fixes the execution
+        and RNG-draw order on both the compiled and reference paths.
+        """
+        out = builder.child(self.conv1, "conv1", x)
+        out = builder.child(self.conv2, "conv2", out)
+        shortcut = builder.child(self.shortcut, "shortcut", x)
+        out = builder.add(out, shortcut, name="add")
+        return builder.child(self.act, "act", out)
+
     def profile_forward(self, shape, profiler, prefix):
         """Profile the two parallel paths (main + shortcut) explicitly."""
         from repro.models.profile import _profile_module
@@ -85,6 +99,9 @@ class ResNet(nn.Module):
     def forward(self, x):
         x = self.stages(self.stem(x))
         return self.fc(self.flatten(self.pool(x)))
+
+    #: forward applies the children in registration order.
+    plan_forward = nn.plan_serial
 
     def feature_extractor(self) -> nn.Module:
         return nn.Sequential(self.stem, self.stages)

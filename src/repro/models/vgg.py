@@ -69,6 +69,9 @@ class VGG(nn.Module):
         x = self.flatten(self.pool(x))
         return self.classifier(x)
 
+    #: forward applies the children in registration order.
+    plan_forward = nn.plan_serial
+
     def feature_extractor(self) -> nn.Module:
         """The part the paper deploys in ROM-CiM for Options I/II."""
         return self.features

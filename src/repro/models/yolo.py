@@ -65,6 +65,9 @@ class YoloDetector(nn.Module):
         """Return raw predictions with shape (N, 5 + C, S, S)."""
         return self.head(self.backbone(x))
 
+    #: backbone then head — the registration-order chain.
+    plan_forward = nn.plan_serial
+
     def prediction_head(self) -> nn.Module:
         """The part YOLoC keeps trainable in SRAM-CiM (Fig. 9)."""
         return self.head

@@ -42,6 +42,7 @@ from repro.nn.functional import (
 from repro.nn.layers import (
     Module,
     Parameter,
+    plan_serial,
     Sequential,
     ModuleList,
     Conv2d,
@@ -74,6 +75,7 @@ from repro.nn import init
 __all__ = [
     "Tensor",
     "tensor",
+    "plan_serial",
     "no_grad",
     "is_grad_enabled",
     "relu",

@@ -160,6 +160,22 @@ class Module:
         return "\n".join(lines) + ")"
 
 
+def plan_serial(module: "Module", builder, x):
+    """Declare a composite's dataflow as its child chain.
+
+    Assign this function as a class attribute (``plan_forward =
+    plan_serial``) on a composite whose custom ``forward`` applies the
+    children in registration order — the deployment runtime then lowers
+    the composite as that serial chain, and the artifact store may
+    serialize it as a generic container.  Composites whose dataflow is
+    *not* the serial chain (residual adds, parallel branches) implement
+    their own ``plan_forward(builder, x)`` instead.
+    """
+    for name, child in module._modules.items():
+        x = builder.child(child, name, x)
+    return x
+
+
 class Sequential(Module):
     """Chain of modules applied in order."""
 

@@ -41,11 +41,13 @@ from repro.runtime.cache import (
     set_default_cache,
     weight_fingerprint,
 )
+from repro.runtime.errors import CompileError, UnsupportedModuleError
 from repro.runtime.kernels import MacroBitSerialKernel, TiledBitSerialKernel
 from repro.runtime.engine import (
     ProgrammedConv,
     ProgrammedLinear,
     conv_engine,
+    grouped_conv_execute,
     linear_engine,
 )
 from repro.runtime.programming import (
@@ -86,6 +88,9 @@ from repro.runtime.reference import reference_forward
 
 __all__ = [
     "ArtifactStore",
+    "CompileError",
+    "UnsupportedModuleError",
+    "grouped_conv_execute",
     "SnapshotError",
     "SnapshotKeyError",
     "SnapshotCorruptError",

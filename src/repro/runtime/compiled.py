@@ -14,6 +14,28 @@ forward call:
   per run (and per :class:`~repro.runtime.session.ExecutionSession`)
   instead of mutating state on the model.
 
+The execution plan is a **DAG IR**: a list of :class:`_PlanNode` whose
+``inputs`` are explicit edges to earlier nodes (``-1`` is the model
+input), executed in fixed topological order — the order the plan
+builder created them, i.e. module-registration / ``plan_forward``
+declaration order.  Fan-out (a tensor consumed by several nodes, e.g.
+a residual shortcut) and fan-in (:class:`_AddStep`) are first-class,
+intermediate buffers are refcounted and freed after their last
+consumer, and the fixed order keeps bit-line-noise RNG draws
+deterministic and bitwise identical to the (equally DAG-aware)
+reference walker in :mod:`repro.runtime.reference`.
+
+Composites declare their dataflow through the ``plan_forward(builder,
+x)`` protocol (mirroring the ``profile_forward`` precedent): the
+builder hands the composite opaque :class:`PlanHandle` values and the
+composite wires children (``builder.child``) and fan-in ops
+(``builder.add``).  Serial-chain composites can simply set
+``plan_forward = nn.plan_serial``.  A composite that overrides
+``forward`` *without* declaring a plan raises a typed
+:class:`~repro.runtime.errors.UnsupportedModuleError` at compile time —
+never the silent child-chaining that used to defer failure to a
+mid-run reshape error (or silently wrong outputs).
+
 The compiled path is bitwise identical to the seed per-call functional
 path at a fixed RNG seed — pinned by ``tests/test_runtime.py`` against
 :func:`repro.runtime.reference.reference_forward`.
@@ -32,7 +54,13 @@ from repro.cim.encoding import ActivationEncoding
 from repro.cim.macro import MacroConfig, MacroStats
 from repro.rebranch.branch import ReBranchConv2d
 from repro.runtime.cache import EngineCache, resolve_cache, weight_fingerprint
-from repro.runtime.engine import conv_engine, conv_patches, linear_engine
+from repro.runtime.engine import (
+    conv_engine,
+    conv_patches,
+    grouped_conv_execute,
+    linear_engine,
+)
+from repro.runtime.errors import CompileError, UnsupportedModuleError
 from repro.runtime.programming import (
     DeploymentReport,
     build_report,
@@ -45,6 +73,9 @@ from repro.runtime.session import ExecutionSession
 #: Sentinel distinguishing "use the compiled default encoding" from an
 #: explicit ``encoding=None`` (force bit-serial) at run time.
 _USE_DEFAULT = object()
+
+#: Node-input index denoting the model input tensor.
+INPUT = -1
 
 
 @dataclass
@@ -116,8 +147,41 @@ class _RunState:
         self.stats = MacroStats()
 
 
+@dataclass(frozen=True)
+class PlanHandle:
+    """Opaque reference to one dataflow value during plan building.
+
+    ``plan_forward`` implementations receive and return these; the only
+    legal operations are passing them to the builder (``child`` /
+    ``add``).  ``signed`` is the compile-time signedness prediction of
+    the value (what gets programmed eagerly — execution re-detects per
+    batch).
+    """
+
+    index: int
+    signed: bool
+
+
+class _PlanNode:
+    """One executable node of the plan DAG.
+
+    ``inputs`` are indices of earlier nodes (:data:`INPUT` is the model
+    input); execution order is list order — the fixed topological order
+    the builder created the nodes in.
+    """
+
+    __slots__ = ("op", "inputs", "name")
+
+    def __init__(self, op: Any, inputs: Tuple[int, ...], name: str):
+        self.op = op
+        self.inputs = inputs
+        self.name = name
+
+
 class _FuncStep:
     """A pure (engine-free) operation: activation, pooling, reshape."""
+
+    kind = "func"
 
     def __init__(self, name: str, fn: Callable[[np.ndarray], np.ndarray]):
         self.name = name
@@ -125,6 +189,18 @@ class _FuncStep:
 
     def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
         return self.fn(x)
+
+
+class _AddStep:
+    """Fan-in: element-wise sum of two dataflow values (residual add)."""
+
+    kind = "add"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def apply(self, a: np.ndarray, b: np.ndarray, state: _RunState) -> np.ndarray:
+        return a + b
 
 
 class _EngineSlot:
@@ -137,6 +213,11 @@ class _EngineSlot:
     programming time; engines for each input signedness are fetched
     through the cache on demand, so two compiled models over the same
     weights share programmed tiles.
+
+    ``profile_name`` / ``profile_share`` map the slot back onto the
+    analytic profile: a grouped convolution programs one slot per group
+    (layer id ``<name>::g<i>``), each owning ``1/groups`` of the
+    profiled layer's MACs.
     """
 
     def __init__(
@@ -151,6 +232,8 @@ class _EngineSlot:
         stride: int = 0,
         padding: int = 0,
         fingerprint: Optional[str] = None,
+        profile_name: Optional[str] = None,
+        profile_share: float = 1.0,
     ):
         self.layer_id = layer_id
         self.kind = kind
@@ -161,6 +244,8 @@ class _EngineSlot:
         self.predicted_signed = bool(predicted_signed)
         self.stride = stride
         self.padding = padding
+        self.profile_name = profile_name if profile_name is not None else layer_id
+        self.profile_share = float(profile_share)
         # ``fingerprint`` is the snapshot warm-start hook: a caller that
         # already knows the weights' content hash (it wrote them) skips
         # re-hashing here; ``refresh`` always re-hashes the live weights.
@@ -219,6 +304,8 @@ class _EngineSlot:
 
 
 class _ConvStep:
+    kind = "conv"
+
     def __init__(self, slot: _EngineSlot, module: nn.Conv2d):
         self.slot = slot
         self.module = module
@@ -248,7 +335,49 @@ class _ConvStep:
         return out
 
 
+class _GroupedConvStep:
+    """A grouped/depthwise convolution lowered to per-group engines.
+
+    Group ``g`` owns its slice of the input channels and of the output
+    channels, programmed as an independent conv engine (one
+    :class:`_EngineSlot` per group, shared through the engine cache).
+    Groups execute in index order against the shared run RNG —
+    deterministic group-major draws, matching the (equally grouped)
+    reference path bit for bit.
+    """
+
+    kind = "grouped_conv"
+
+    def __init__(self, name: str, slots: List[_EngineSlot], module: nn.Conv2d):
+        self.name = name
+        self.slots = slots
+        self.module = module
+
+    def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        encoding = None if bool((x < 0).any()) else state.encoding
+        oc = self.module.out_channels
+        icg = self.module.in_channels // self.module.groups
+        kh, kw = self.module.kernel_size
+        out, stats = grouped_conv_execute(
+            x,
+            (oc, icg, kh, kw),
+            self.module.groups,
+            self.slots[0].stride,
+            self.slots[0].padding,
+            lambda g, signed: self.slots[g].engine_for(signed),
+            rng=state.rng,
+            encoding=encoding,
+        )
+        state.stats = state.stats + stats
+        if self.module.bias is not None:
+            out = out + self.module.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+
 class _LinearStep:
+    kind = "linear"
+
     def __init__(self, slot: _EngineSlot, module: nn.Linear):
         self.slot = slot
         self.module = module
@@ -265,26 +394,44 @@ class _LinearStep:
         return out
 
 
-class _RebranchStep:
-    """trunk(x) + decompress(res_conv(compress(x))), macros per Fig. 9."""
+class GraphBuilder:
+    """The surface a composite's ``plan_forward(builder, x)`` sees.
 
-    def __init__(self, name, trunk, compress, res_conv, decompress):
-        self.name = name
-        self.trunk = trunk
-        self.compress = compress
-        self.res_conv = res_conv
-        self.decompress = decompress
+    ``child`` lowers a child module (by its registration name) on a
+    dataflow value; ``add`` wires a two-input element-wise sum (the
+    residual fan-in).  Reusing a handle in several calls expresses
+    fan-out (an identity skip needs no op at all).  Every call appends
+    nodes in declaration order — that order *is* the execution (and
+    RNG-draw) order.
+    """
 
-    def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
-        trunk = self.trunk.apply(x, state)
-        branch = self.compress.apply(x, state)
-        branch = self.res_conv.apply(branch, state)
-        branch = self.decompress.apply(branch, state)
-        return trunk + branch
+    __slots__ = ("_builder", "_prefix")
+
+    def __init__(self, builder: "_PlanBuilder", prefix: str):
+        self._builder = builder
+        self._prefix = prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}" if self._prefix else name
+
+    def child(self, module: nn.Module, name: str, x: PlanHandle) -> PlanHandle:
+        """Lower child ``module`` (registered as ``name``) applied to ``x``."""
+        self._builder._check_handle(x)
+        return self._builder.build(module, self._qualify(name), x)
+
+    def add(self, a: PlanHandle, b: PlanHandle, name: str = "add") -> PlanHandle:
+        """Element-wise ``a + b`` (residual fan-in)."""
+        self._builder._check_handle(a)
+        self._builder._check_handle(b)
+        full = self._qualify(name)
+        index = self._builder._append(
+            _AddStep(full), (a.index, b.index), full
+        )
+        return PlanHandle(index, a.signed or b.signed)
 
 
 class _PlanBuilder:
-    """Walk the module tree once, building steps and engine slots."""
+    """Walk the module tree once, building the plan DAG and engine slots."""
 
     def __init__(
         self,
@@ -297,7 +444,27 @@ class _PlanBuilder:
         self.sram_config = config.resolved_sram()
         self.cache = cache
         self.fingerprints = fingerprints if fingerprints is not None else {}
+        self.nodes: List[_PlanNode] = []
         self.slots: List[_EngineSlot] = []
+
+    # -- node plumbing --------------------------------------------------
+    def _append(self, op: Any, inputs: Tuple[int, ...], name: str) -> int:
+        self.nodes.append(_PlanNode(op, tuple(inputs), name))
+        return len(self.nodes) - 1
+
+    def _check_handle(self, handle: Any) -> None:
+        if not isinstance(handle, PlanHandle) or not (
+            INPUT <= handle.index < len(self.nodes)
+        ):
+            raise CompileError(
+                f"plan_forward passed an invalid dataflow value "
+                f"{handle!r}; only PlanHandles obtained from this builder "
+                f"are legal"
+            )
+
+    def _leaf(self, op: Any, name: str, x: PlanHandle, signed: bool) -> PlanHandle:
+        index = self._append(op, (x.index,), name)
+        return PlanHandle(index, signed)
 
     def _placement_config_fn(self, module) -> Callable[[], MacroConfig]:
         """Live ROM/SRAM choice: trainable -> SRAM, frozen -> ROM.
@@ -315,6 +482,9 @@ class _PlanBuilder:
         conv: nn.Conv2d,
         config_fn: Callable[[], MacroConfig],
         signed: bool,
+        weight_fn: Optional[Callable[[], np.ndarray]] = None,
+        profile_name: Optional[str] = None,
+        profile_share: float = 1.0,
     ) -> _EngineSlot:
         sh, sw = conv.stride
         ph, pw = conv.padding
@@ -323,7 +493,7 @@ class _PlanBuilder:
         slot = _EngineSlot(
             layer_id=name,
             kind="conv",
-            weight_fn=lambda: conv.weight.data,
+            weight_fn=weight_fn if weight_fn is not None else (lambda: conv.weight.data),
             config_fn=config_fn,
             activation_bits=self.config.activation_bits,
             cache=self.cache,
@@ -331,6 +501,8 @@ class _PlanBuilder:
             stride=sh,
             padding=ph,
             fingerprint=self.fingerprints.get(name),
+            profile_name=profile_name,
+            profile_share=profile_share,
         )
         self.slots.append(slot)
         return slot
@@ -355,112 +527,163 @@ class _PlanBuilder:
         self.slots.append(slot)
         return slot
 
-    def build(
-        self, module: nn.Module, name: str, signed: bool
-    ) -> Tuple[List[Any], bool]:
-        """Steps for ``module`` plus the predicted output signedness."""
+    def _conv(self, name: str, conv: nn.Conv2d, config_fn, x: PlanHandle) -> PlanHandle:
+        if conv.groups > 1:
+            ocg = conv.out_channels // conv.groups
+            slots = [
+                self._conv_slot(
+                    f"{name}::g{g}",
+                    conv,
+                    config_fn,
+                    x.signed,
+                    weight_fn=lambda g=g: conv.weight.data[g * ocg : (g + 1) * ocg],
+                    profile_name=name,
+                    profile_share=1.0 / conv.groups,
+                )
+                for g in range(conv.groups)
+            ]
+            return self._leaf(_GroupedConvStep(name, slots, conv), name, x, True)
+        slot = self._conv_slot(name, conv, config_fn, x.signed)
+        return self._leaf(_ConvStep(slot, conv), name, x, True)
+
+    def _chain(self, module: nn.Module, name: str, x: PlanHandle) -> PlanHandle:
+        for child_name, child in module._modules.items():
+            x = self.build(
+                child, f"{name}.{child_name}" if name else child_name, x
+            )
+        return x
+
+    # -- lowering -------------------------------------------------------
+    def build(self, module: nn.Module, name: str, x: PlanHandle) -> PlanHandle:
+        """Lower ``module`` applied to ``x``; returns the output handle."""
         if isinstance(module, ReBranchConv2d):
             # Fixed Fig. 9 placement: trunk + projections on ROM macros,
-            # res-conv on SRAM, regardless of requires_grad.
+            # res-conv on SRAM, regardless of requires_grad — lowered as
+            # the explicit diamond: x fans out to trunk and compress,
+            # the branch chain rejoins the trunk at an add node.
             rom = lambda: self.rom_config  # noqa: E731
             sram = lambda: self.sram_config  # noqa: E731
-            trunk = _ConvStep(
-                self._conv_slot(f"{name}.trunk", module.trunk, rom, signed),
-                module.trunk,
+            trunk = self._conv(f"{name}.trunk", module.trunk, rom, x)
+            branch = self._conv(f"{name}.compress", module.compress, rom, x)
+            branch = self._conv(f"{name}.res_conv", module.res_conv, sram, branch)
+            branch = self._conv(f"{name}.decompress", module.decompress, rom, branch)
+            index = self._append(
+                _AddStep(f"{name}.add"), (trunk.index, branch.index), f"{name}.add"
             )
-            compress = _ConvStep(
-                self._conv_slot(f"{name}.compress", module.compress, rom, signed),
-                module.compress,
-            )
-            # Branch intermediates come out of convolutions: signed.
-            res_conv = _ConvStep(
-                self._conv_slot(f"{name}.res_conv", module.res_conv, sram, True),
-                module.res_conv,
-            )
-            decompress = _ConvStep(
-                self._conv_slot(f"{name}.decompress", module.decompress, rom, True),
-                module.decompress,
-            )
-            return [_RebranchStep(name, trunk, compress, res_conv, decompress)], True
+            return PlanHandle(index, True)
 
         if isinstance(module, nn.Conv2d):
-            slot = self._conv_slot(
-                name, module, self._placement_config_fn(module), signed
-            )
-            return [_ConvStep(slot, module)], True
+            return self._conv(name, module, self._placement_config_fn(module), x)
 
         if isinstance(module, nn.Linear):
             slot = self._linear_slot(
-                name, module, self._placement_config_fn(module), signed
+                name, module, self._placement_config_fn(module), x.signed
             )
-            return [_LinearStep(slot, module)], True
+            return self._leaf(_LinearStep(slot, module), name, x, True)
 
         if isinstance(module, nn.ReLU):
-            return [_FuncStep(name, lambda x: np.maximum(x, 0.0))], False
+            return self._leaf(
+                _FuncStep(name, lambda v: np.maximum(v, 0.0)), name, x, False
+            )
 
         if isinstance(module, nn.LeakyReLU):
             # Read the slope live: the seed wrapper picked up in-place
             # module mutation between forwards.
-            return [
+            return self._leaf(
                 _FuncStep(
                     name,
-                    lambda x, m=module: np.where(x > 0, x, m.negative_slope * x),
-                )
-            ], True
+                    lambda v, m=module: np.where(v > 0, v, m.negative_slope * v),
+                ),
+                name,
+                x,
+                True,
+            )
 
         if isinstance(module, nn.Sigmoid):
-            return [
+            return self._leaf(
                 _FuncStep(
-                    name, lambda x: 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
-                )
-            ], False
+                    name, lambda v: 1.0 / (1.0 + np.exp(-np.clip(v, -60, 60)))
+                ),
+                name,
+                x,
+                False,
+            )
 
         if isinstance(module, nn.Tanh):
-            return [_FuncStep(name, np.tanh)], True
+            return self._leaf(_FuncStep(name, np.tanh), name, x, True)
 
         if isinstance(module, (nn.Identity, nn.Dropout)):
-            return [_FuncStep(name, lambda x: x)], signed
+            return self._leaf(
+                _FuncStep(name, lambda v: v), name, x, x.signed
+            )
 
         if isinstance(module, nn.MaxPool2d):
-            return [
+            return self._leaf(
                 _FuncStep(
                     name,
-                    lambda x, m=module: _pool(x, m.kernel_size, m.stride, "max"),
-                )
-            ], signed
+                    lambda v, m=module: _pool(v, m.kernel_size, m.stride, "max"),
+                ),
+                name,
+                x,
+                x.signed,
+            )
 
         if isinstance(module, nn.AvgPool2d):
-            return [
+            return self._leaf(
                 _FuncStep(
                     name,
-                    lambda x, m=module: _pool(x, m.kernel_size, m.stride, "avg"),
-                )
-            ], signed
+                    lambda v, m=module: _pool(v, m.kernel_size, m.stride, "avg"),
+                ),
+                name,
+                x,
+                x.signed,
+            )
 
         if isinstance(module, nn.GlobalAvgPool2d):
-            return [
-                _FuncStep(name, lambda x: x.mean(axis=(2, 3), keepdims=True))
-            ], signed
+            return self._leaf(
+                _FuncStep(name, lambda v: v.mean(axis=(2, 3), keepdims=True)),
+                name,
+                x,
+                x.signed,
+            )
 
         if isinstance(module, nn.Flatten):
-            return [
-                _FuncStep(name, lambda x: x.reshape(x.shape[0], -1))
-            ], signed
+            return self._leaf(
+                _FuncStep(name, lambda v: v.reshape(v.shape[0], -1)),
+                name,
+                x,
+                x.signed,
+            )
 
-        # Any composite (Sequential, ConvBNAct after folding, ...):
-        # chain the children in registration order.  An *empty*
-        # Sequential is a legal no-op placeholder (the seed path ran it
-        # as identity); an empty custom composite stays an error.
-        if isinstance(module, nn.Sequential) or module._modules:
-            steps: List[Any] = []
-            for child_name, child in module._modules.items():
-                child_steps, signed = self.build(
-                    child, f"{name}.{child_name}" if name else child_name, signed
-                )
-                steps.extend(child_steps)
-            return steps, signed
+        # Composites.  An *empty* Sequential is a legal no-op placeholder
+        # (the seed path ran it as identity); everything else must either
+        # declare its dataflow (plan_forward) or be a bare container that
+        # never overrode forward.
+        if isinstance(module, nn.Sequential):
+            return self._chain(module, name, x)
 
-        raise TypeError(f"cannot deploy module of type {type(module).__name__}")
+        plan = getattr(type(module), "plan_forward", None)
+        if plan is not None:
+            out = module.plan_forward(GraphBuilder(self, name), x)
+            self._check_handle(out)
+            return out
+
+        if module._modules:
+            if type(module).forward is nn.Module.forward:
+                # A bare container (no custom dataflow to betray).
+                return self._chain(module, name, x)
+            raise UnsupportedModuleError(
+                name,
+                type(module).__name__,
+                "the composite overrides forward() without declaring its "
+                "dataflow; implement plan_forward(builder, x) (or set "
+                "plan_forward = nn.plan_serial for a registration-order "
+                "chain)",
+            )
+
+        raise UnsupportedModuleError(
+            name, type(module).__name__, "no runtime lowering for this type"
+        )
 
 
 class CompiledModel:
@@ -468,14 +691,18 @@ class CompiledModel:
 
     Obtain one through :func:`compile`.  :meth:`run` is the hot path:
     it never re-quantizes weights or rebuilds tiles — only activation
-    quantization and the macro arithmetic happen per batch.
+    quantization and the macro arithmetic happen per batch.  The plan
+    is a DAG (:class:`_PlanNode` list in fixed topological order);
+    intermediate values are refcounted and freed after their last
+    consumer.
     """
 
     def __init__(
         self,
         model: nn.Module,
         config: RuntimeConfig,
-        steps: List[Any],
+        nodes: List[_PlanNode],
+        output_index: int,
         slots: List[_EngineSlot],
         report: DeploymentReport,
         cache: EngineCache,
@@ -485,10 +712,51 @@ class CompiledModel:
         self.config = config
         self.report = report
         self.cache = cache
-        self._steps = steps
+        self._nodes = nodes
+        self._output_index = output_index
         self._slots = slots
         self._rng = rng if rng is not None else np.random.default_rng()
         self._profiles: Dict[Tuple[int, ...], Any] = {}
+        self._consumers = self._count_consumers()
+
+    def _count_consumers(self) -> Dict[int, int]:
+        """Refcounts: how many consumers each value (node output or the
+        model input) has, with one extra hold on the plan output."""
+        consumers: Dict[int, int] = {}
+        for node in self._nodes:
+            for j in node.inputs:
+                consumers[j] = consumers.get(j, 0) + 1
+        consumers[self._output_index] = consumers.get(self._output_index, 0) + 1
+        for i, node in enumerate(self._nodes):
+            if consumers.get(i, 0) == 0:
+                raise CompileError(
+                    f"plan node {node.name!r} is dead: its output is never "
+                    f"consumed and it is not the plan output — fix the "
+                    f"plan_forward that created it"
+                )
+        return consumers
+
+    # -- plan introspection --------------------------------------------
+    @property
+    def _steps(self) -> List[_PlanNode]:
+        """Back-compat alias: the plan nodes in execution order."""
+        return self._nodes
+
+    def plan_spec(self) -> Dict[str, Any]:
+        """JSON-serializable topology of the plan DAG (for artifacts,
+        debugging and drift checks): node names, op kinds, input edges,
+        and the output index."""
+        return {
+            "nodes": [
+                {
+                    "name": node.name,
+                    "op": node.op.kind,
+                    "inputs": list(node.inputs),
+                }
+                for node in self._nodes
+            ],
+            "output": self._output_index,
+        }
 
     # -- execution -----------------------------------------------------
     def run(
@@ -518,11 +786,19 @@ class CompiledModel:
         )
         x = np.asarray(batch, dtype=np.float64)
         n_samples = x.shape[0] if x.ndim else 1
-        for step in self._steps:
-            x = step.apply(x, state)
+        values: Dict[int, np.ndarray] = {INPUT: x}
+        remaining = dict(self._consumers)
+        for i, node in enumerate(self._nodes):
+            args = tuple(values[j] for j in node.inputs)
+            values[i] = node.op.apply(*args, state)
+            for j in node.inputs:
+                remaining[j] -= 1
+                if remaining[j] == 0:
+                    del values[j]  # refcount hit zero: free the buffer
+        out = values[self._output_index]
         if session is not None:
             session.record(state.stats, samples=n_samples)
-        return x, state.stats
+        return out, state.stats
 
     def new_session(self) -> ExecutionSession:
         return ExecutionSession()
@@ -600,13 +876,24 @@ def compile(
         fold_batchnorm(model)
     validate_deployable(model)
     builder = _PlanBuilder(config, cache, fingerprints)
-    steps, _ = builder.build(model, "", config.assume_signed_input)
+    output = builder.build(
+        model, "", PlanHandle(INPUT, config.assume_signed_input)
+    )
     report = build_report(
         model,
         builder.rom_config.weight_bits,
         builder.sram_config.weight_bits,
     )
-    compiled = CompiledModel(model, config, steps, builder.slots, report, cache, rng)
+    compiled = CompiledModel(
+        model,
+        config,
+        builder.nodes,
+        output.index,
+        builder.slots,
+        report,
+        cache,
+        rng,
+    )
     if shards is None:
         return compiled
     from repro.runtime.sharded import shard as _shard

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.cim.encoding import ActivationEncoding
 from repro.cim.macro import MacroConfig, MacroStats
-from repro.cim.mvm import CimTiledMatmul
+from repro.cim.mvm import CimTiledMatmul, validate_groups
 from repro.nn import functional as F
 from repro.quant.quantizer import QuantSpec, quantize
 from repro.runtime.cache import (
@@ -211,6 +211,51 @@ class ProgrammedConv:
             0, 2, 1
         )
         return out.reshape(n_samples, self.out_channels, out_h, out_w), stats
+
+
+def grouped_conv_execute(
+    x: np.ndarray,
+    weight_shape: Tuple[int, int, int, int],
+    groups: int,
+    stride: int,
+    padding: int,
+    engine_for,
+    rng: Optional[np.random.Generator] = None,
+    encoding: Optional[ActivationEncoding] = None,
+) -> Tuple[np.ndarray, MacroStats]:
+    """Exact grouped-convolution lowering over per-group conv engines.
+
+    ``weight_shape`` is the full conv's ``(out_channels, in_per_group,
+    kh, kw)``; ``engine_for(g, signed)`` returns the
+    :class:`ProgrammedConv` for group ``g`` programmed for that input
+    signedness (callers route it through the engine cache, so each
+    group's macros are programmed once and shared).
+
+    Semantics — shared bit for bit by the compiled runtime and
+    :func:`repro.cim.mvm.reference_cim_conv2d`: each group is an
+    independent convolution over its channel slice, with **per-group**
+    batch-global activation quantization and **per-group** signedness
+    (decided on that group's im2col patches).  Groups execute in index
+    order against the shared ``rng``, so bit-line-noise draws are
+    deterministic group-major.  Stats sum over groups (sequential
+    word-line streaming; tiles within a group still run in parallel).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    oc, icg, kh, kw = weight_shape
+    validate_groups(oc, icg, groups, x.shape[1])
+    outs = []
+    total = MacroStats()
+    for g in range(groups):
+        xg = x[:, g * icg : (g + 1) * icg]
+        patches, out_hw = conv_patches(xg, (oc // groups, icg, kh, kw), stride, padding)
+        signed = bool(patches.size and (patches < 0).any())
+        engine = engine_for(g, signed)
+        out, stats = engine.execute_patches(
+            patches, x.shape[0], out_hw, rng=rng, encoding=encoding
+        )
+        total = total + stats
+        outs.append(out)
+    return np.concatenate(outs, axis=1), total
 
 
 # ----------------------------------------------------------------------

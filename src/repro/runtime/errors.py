@@ -1,0 +1,33 @@
+"""Typed compile-time failures of the deployment runtime.
+
+:class:`CompileError` subclasses ``TypeError`` because the runtime
+historically raised bare ``TypeError("cannot deploy ...")`` for
+undeployable modules; existing callers that catch ``TypeError`` keep
+working while new callers can catch the precise class.
+"""
+
+from __future__ import annotations
+
+
+class CompileError(TypeError):
+    """A model cannot be lowered to a deployment plan."""
+
+
+class UnsupportedModuleError(CompileError):
+    """A module on the dataflow path has no runtime lowering.
+
+    Raised at *compile* time (and by the reference walker) — most
+    importantly for composites that override ``forward`` without
+    declaring their dataflow via ``plan_forward``: silently chaining
+    their children in registration order would either crash mid-run on
+    a shape mismatch or, worse, compute the wrong thing when shapes
+    happen to line up (e.g. a residual block without its skip-add).
+    """
+
+    def __init__(self, qualified_name: str, module_type: str, reason: str):
+        self.qualified_name = qualified_name
+        self.module_type = module_type
+        super().__init__(
+            f"cannot deploy module {qualified_name or '<root>'!r} of type "
+            f"{module_type}: {reason}"
+        )

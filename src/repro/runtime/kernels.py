@@ -335,6 +335,7 @@ class TiledBitSerialKernel:
             _TileGroup(r0, r1, tiles) for (r0, r1), tiles in groups.items()
         ]
         self._path_cache: dict = {}
+        self._fused_cache: dict = {}
 
     @staticmethod
     def supported(config: MacroConfig) -> bool:
@@ -395,26 +396,20 @@ class TiledBitSerialKernel:
             # Per-row plane totals: exact integers, shared by the block.
             row_sums = block.sum(axis=(1, 2), dtype=np.float64)
             row_activations = int(row_sums.sum())
+            partials = self._recombine_group(
+                group, quantized, in_weights, wb, ib, n
+            )
             for index, tile in enumerate(group.tiles):
                 macro = tile.macro
-                cols = macro.cols_used
-                # The tile's slice is C-contiguous (wb*cols, ib*n) — the
-                # exact per-tile reference layout — viewed as (j,k,c,n).
-                q_tile = quantized[
-                    group.offsets[index] : group.offsets[index + 1]
-                ].reshape(wb, cols, ib, n).transpose(2, 0, 1, 3)
-                partial = _recombine_einsum(
-                    self._path_cache, in_weights, macro._plane_weights, q_tile
-                )
                 counts_total = float(
                     np.dot(row_sums, group.plane_row_sums[index])
                 )
-                out[tile.col_start : tile.col_stop] += partial
+                out[tile.col_start : tile.col_stop] += partials[index]
                 acc.add(
                     macro_pass_stats(
                         macro.config,
                         macro.rows_used,
-                        cols,
+                        macro.cols_used,
                         n_vectors=n,
                         row_activations=row_activations,
                         counts_total=counts_total,
@@ -422,6 +417,84 @@ class TiledBitSerialKernel:
                 )
         total = acc.finish()
         return (out[:, 0] if squeeze else out), total
+
+    def _recombine_per_tile(self, group, quantized, in_weights, wb, ib, n):
+        """The reference recombination: one einsum call per column tile.
+
+        Each tile's slice of the block's quantized matrix is C-contiguous
+        in the exact per-tile reference layout, viewed as (j, k, c, n).
+        """
+        partials = []
+        for index, tile in enumerate(group.tiles):
+            cols = tile.macro.cols_used
+            q_tile = quantized[
+                group.offsets[index] : group.offsets[index + 1]
+            ].reshape(wb, cols, ib, n).transpose(2, 0, 1, 3)
+            partials.append(
+                _recombine_einsum(
+                    self._path_cache, in_weights, tile.macro._plane_weights, q_tile
+                )
+            )
+        return partials
+
+    def _recombine_group(self, group, quantized, in_weights, wb, ib, n):
+        """Recombine every column tile of a row block, fused when proven.
+
+        Serving-sized calls are dominated by per-tile einsum dispatch, so
+        equal-width column tiles are recombined in **one** einsum over the
+        concatenated columns.  Like the per-shape dispatch in
+        :func:`_recombine_einsum`, the fused mode is adopted per
+        ``(group, n)`` only after a first-call veto proved its result
+        bitwise equal to the per-tile reference calls — einsum may pick a
+        different contraction order for the wider operand, and any shape
+        where that changes one bit stays on the per-tile path forever.
+        """
+        tiles = group.tiles
+        # Fusion trades one reorder copy of the block for T-1 fewer
+        # einsum dispatches: a win only while dispatch dominates, i.e.
+        # for serving-sized vector counts.  The guard is purely shape-
+        # based (never value-based), so which path runs is deterministic
+        # — and both paths are veto-proven bitwise equal anyway.
+        if len(tiles) == 1 or n * ib > 256:
+            return self._recombine_per_tile(group, quantized, in_weights, wb, ib, n)
+        key = (id(group), n)
+        mode = self._fused_cache.get(key)
+        if mode == "per-tile":
+            return self._recombine_per_tile(group, quantized, in_weights, wb, ib, n)
+        cols = tiles[0].macro.cols_used
+        uniform = all(tile.macro.cols_used == cols for tile in tiles)
+        if mode is None:
+            partials = self._recombine_per_tile(
+                group, quantized, in_weights, wb, ib, n
+            )
+            mode = "per-tile"
+            if uniform:
+                fused = self._recombine_fused(
+                    tiles, quantized, in_weights, wb, ib, n, cols
+                )
+                if all(
+                    np.array_equal(a, b) for a, b in zip(partials, fused)
+                ):
+                    mode = "fused"
+            self._fused_cache[key] = mode
+            return partials
+        return self._recombine_fused(tiles, quantized, in_weights, wb, ib, n, cols)
+
+    def _recombine_fused(self, tiles, quantized, in_weights, wb, ib, n, cols):
+        """One einsum over the whole row block's columns.
+
+        The block's quantized matrix stacks tiles as (t, k, c) chunks;
+        reordering to (k, t·c) makes the group one wide logical tile, and
+        slicing the result recovers each tile's partial.
+        """
+        t = len(tiles)
+        q_fused = np.ascontiguousarray(
+            quantized.reshape(t, wb, cols, ib, n).transpose(1, 0, 2, 3, 4)
+        ).reshape(wb, t * cols, ib, n).transpose(2, 0, 1, 3)
+        result = _recombine_einsum(
+            self._path_cache, in_weights, tiles[0].macro._plane_weights, q_fused
+        )
+        return [result[i * cols : (i + 1) * cols] for i in range(t)]
 
 
 class _StatsAccumulator:

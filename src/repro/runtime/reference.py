@@ -5,6 +5,18 @@ each forward call.  :func:`reference_forward` keeps that exact behaviour
 — same arithmetic, same RNG consumption order — so tests can pin the
 compiled runtime's outputs bitwise against it and benchmarks can
 measure the compile-once speedup against the true baseline.
+
+The walker understands the same dataflow protocol as the compiled
+plan builder: composites declare their graph via ``plan_forward``
+(see :mod:`repro.runtime.compiled`), which the walker executes
+*eagerly* — ``builder.child`` runs the child right away, ``builder.add``
+sums the arrays.  Because the compiled plan executes its nodes in
+exactly the order ``plan_forward`` declared them, eager execution here
+consumes the RNG stream identically, so residual and grouped-conv
+models stay bitwise comparable across both paths.  A composite that
+overrides ``forward`` without declaring a plan raises the same typed
+:class:`~repro.runtime.errors.UnsupportedModuleError` the compiler
+raises.
 """
 
 from __future__ import annotations
@@ -19,6 +31,30 @@ from repro.cim.encoding import ActivationEncoding
 from repro.cim.macro import MacroConfig, MacroStats
 from repro.cim.mvm import reference_cim_conv2d, reference_cim_linear
 from repro.rebranch.branch import ReBranchConv2d
+from repro.runtime.errors import UnsupportedModuleError
+
+
+class _EagerGraph:
+    """The ``plan_forward`` builder surface, executed eagerly.
+
+    Dataflow values are the actual activation arrays; ``child`` runs
+    the child module immediately and ``add`` sums.  Declaration order
+    is execution order — the same fixed topological order the compiled
+    DAG uses — so RNG draws line up bit for bit.
+    """
+
+    __slots__ = ("_runner", "_prefix")
+
+    def __init__(self, runner: "_ReferenceRunner", prefix: str):
+        self._runner = runner
+        self._prefix = prefix
+
+    def child(self, module: nn.Module, name: str, x: np.ndarray) -> np.ndarray:
+        full = f"{self._prefix}.{name}" if self._prefix else name
+        return self._runner.run(module, x, full)
+
+    def add(self, a: np.ndarray, b: np.ndarray, name: str = "add") -> np.ndarray:
+        return a + b
 
 
 class _ReferenceRunner:
@@ -49,16 +85,19 @@ class _ReferenceRunner:
             activation_bits=self.activation_bits,
             rng=self.rng,
             encoding=self._encoding_for(x),
+            groups=conv.groups,
         )
         self.stats = self.stats + stats
         if conv.bias is not None:
             out = out + conv.bias.data.reshape(1, -1, 1, 1)
         return out
 
-    def run(self, module: nn.Module, x: np.ndarray) -> np.ndarray:
+    def run(self, module: nn.Module, x: np.ndarray, name: str = "") -> np.ndarray:
         if isinstance(module, nn.Sequential):
-            for child in module._modules.values():
-                x = self.run(child, x)
+            for child_name, child in module._modules.items():
+                x = self.run(
+                    child, x, f"{name}.{child_name}" if name else child_name
+                )
             return x
         if isinstance(module, ReBranchConv2d):
             trunk = self._conv(x, module.trunk, self.rom_config)
@@ -105,11 +144,27 @@ class _ReferenceRunner:
             return x.mean(axis=(2, 3), keepdims=True)
         if isinstance(module, nn.Flatten):
             return x.reshape(x.shape[0], -1)
+        if getattr(type(module), "plan_forward", None) is not None:
+            return module.plan_forward(_EagerGraph(self, name), x)
         if module._modules:
-            for child in module._modules.values():
-                x = self.run(child, x)
-            return x
-        raise TypeError(f"cannot deploy module of type {type(module).__name__}")
+            if type(module).forward is nn.Module.forward:
+                # A bare container: no custom dataflow to betray.
+                for child_name, child in module._modules.items():
+                    x = self.run(
+                        child, x, f"{name}.{child_name}" if name else child_name
+                    )
+                return x
+            raise UnsupportedModuleError(
+                name,
+                type(module).__name__,
+                "the composite overrides forward() without declaring its "
+                "dataflow; implement plan_forward(builder, x) (or set "
+                "plan_forward = nn.plan_serial for a registration-order "
+                "chain)",
+            )
+        raise UnsupportedModuleError(
+            name, type(module).__name__, "no runtime lowering for this type"
+        )
 
 
 def pool2d(x: np.ndarray, kernel, stride, mode: str) -> np.ndarray:

@@ -8,9 +8,12 @@ existed only as analytical models (``arch/chiplet.py``,
 monolithic engine stack.  This module closes that gap:
 
 * :func:`plan_shards` cuts a :class:`~repro.runtime.CompiledModel`'s
-  step plan into ``n`` contiguous segments — a balanced layer-cut over
-  per-step weight bits and compute cost (MACs from
-  :mod:`repro.models.profile` when an input shape is known).
+  DAG plan into ``n`` contiguous segments — a balanced layer-cut over
+  per-node weight bits and compute cost (MACs from
+  :mod:`repro.models.profile` when an input shape is known).  Cuts land
+  only on **single-edge dataflow frontiers**: a residual or ReBranch
+  diamond (fan-out rejoined by an add) is atomic, so every shard
+  boundary carries exactly one activation tensor.
 * :class:`ShardedModel` executes that plan.  :meth:`ShardedModel.run`
   streams one batch through all shards in order (bitwise identical to
   the unsharded model — see below); :meth:`ShardedModel.run_stream`
@@ -55,9 +58,11 @@ from repro.arch.chiplet import ChipletLinkSpec, SIMBA_LINK
 from repro.cim.macro import MacroStats
 from repro.runtime.compiled import (
     _USE_DEFAULT,
+    INPUT,
     _ConvStep,
+    _GroupedConvStep,
     _LinearStep,
-    _RebranchStep,
+    _PlanNode,
     _RunState,
     CompiledModel,
 )
@@ -74,16 +79,81 @@ def stream_rng(seed: int, index: int) -> np.random.Generator:
     return np.random.default_rng([int(seed), int(index)])
 
 
-def _step_slots(step: Any) -> List[Any]:
-    """Engine slots a plan step owns (empty for pure function steps)."""
-    if isinstance(step, (_ConvStep, _LinearStep)):
-        return [step.slot]
-    if isinstance(step, _RebranchStep):
-        return [
-            sub.slot
-            for sub in (step.trunk, step.compress, step.res_conv, step.decompress)
-        ]
+def _node_slots(node: _PlanNode) -> List[Any]:
+    """Engine slots a plan node owns (empty for pure function/add nodes)."""
+    op = node.op
+    if isinstance(op, (_ConvStep, _LinearStep)):
+        return [op.slot]
+    if isinstance(op, _GroupedConvStep):
+        return list(op.slots)
     return []
+
+
+#: Back-compat alias (pre-DAG name).
+_step_slots = _node_slots
+
+
+def _legal_cuts(nodes: Sequence[_PlanNode], output_index: int) -> List[bool]:
+    """``legal[i]``: a shard boundary may fall after node ``i``.
+
+    A cut is legal exactly when its frontier is a **single edge** —
+    i.e. node ``i`` is the only producer at or before the cut whose
+    value is still live after it.  Serial chains make every boundary
+    legal; a fan-out region (a residual or ReBranch diamond, where the
+    shortcut keeps an earlier value live) closes boundaries until the
+    fan-in rejoins.  Single-edge frontiers are what let shards exchange
+    exactly one activation tensor per boundary.
+    """
+    n = len(nodes)
+    last_use: Dict[int, int] = {}
+    for i, node in enumerate(nodes):
+        for j in node.inputs:
+            last_use[j] = i
+    last_use[output_index] = n  # the plan output is live past every cut
+    closes_at: Dict[int, List[int]] = {}
+    for producer, last in last_use.items():
+        closes_at.setdefault(last, []).append(producer)
+    live = {INPUT} if INPUT in last_use else set()
+    legal: List[bool] = []
+    for i in range(n):
+        for producer in closes_at.get(i, ()):
+            live.discard(producer)
+        if last_use.get(i, i) > i:
+            live.add(i)
+        legal.append(live == {i})
+    return legal
+
+
+def _blocks_of(nodes: Sequence[_PlanNode], output_index: int) -> List[List[int]]:
+    """Group node indices into cuttable, weight-anchored blocks.
+
+    Nodes are first split at legal (single-edge-frontier) cuts; a DAG
+    diamond — residual block, ReBranch — is therefore one atomic
+    segment.  Segments carrying no engine slots (pure activations,
+    pooling, reshape, fan-in adds between weight segments) ride with
+    the preceding weight-anchored block; a leading run of pure segments
+    merges into the first weight block, so every block is anchored on
+    at least one weight layer.
+    """
+    legal = _legal_cuts(nodes, output_index)
+    segments: List[List[int]] = []
+    current: List[int] = []
+    for i in range(len(nodes)):
+        current.append(i)
+        if legal[i] or i == len(nodes) - 1:
+            segments.append(current)
+            current = []
+    blocks: List[List[int]] = []
+    for segment in segments:
+        anchored = any(_node_slots(nodes[i]) for i in segment)
+        if anchored or not blocks:
+            blocks.append(segment)
+        else:
+            blocks[-1].extend(segment)
+    if len(blocks) > 1 and not any(_node_slots(nodes[i]) for i in blocks[0]):
+        blocks[1] = blocks[0] + blocks[1]
+        del blocks[0]
+    return blocks
 
 
 @dataclass(frozen=True)
@@ -137,26 +207,6 @@ class ShardPlan:
         return "\n".join(lines)
 
 
-def _blocks_of(steps: Sequence[Any]) -> List[List[int]]:
-    """Group step indices into cuttable blocks.
-
-    A new block opens at every weight-bearing step; pure steps join the
-    block of the weight layer that produced their input.  A leading run
-    of pure steps (before any weights) merges into the first weight
-    block, so every block is anchored on a weight layer.
-    """
-    blocks: List[List[int]] = []
-    for i, step in enumerate(steps):
-        if _step_slots(step) or not blocks:
-            blocks.append([i])
-        else:
-            blocks[-1].append(i)
-    if len(blocks) > 1 and not any(_step_slots(steps[i]) for i in blocks[0]):
-        blocks[1] = blocks[0] + blocks[1]
-        del blocks[0]
-    return blocks
-
-
 def _balanced_cuts(costs: Sequence[float], n: int) -> List[int]:
     """Linear-partition DP: split ``costs`` into ``n`` contiguous runs
     minimizing the maximum run cost.  Returns run lengths."""
@@ -205,8 +255,8 @@ def plan_shards(
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-    steps = compiled._steps
-    blocks = _blocks_of(steps)
+    nodes = compiled._nodes
+    blocks = _blocks_of(nodes, compiled._output_index)
     if n_shards > len(blocks):
         raise ValueError(
             f"cannot cut {n_shards} shards: the plan has only "
@@ -225,9 +275,13 @@ def plan_shards(
         bits = 0.0
         macs = 0.0
         for i in block:
-            for slot in _step_slots(steps[i]):
+            for slot in _node_slots(nodes[i]):
                 bits += float(slot.weight_fn().size * slot.config_fn().weight_bits)
-                macs += macs_by_layer.get(slot.layer_id, 0.0)
+                # Grouped convs map several slots onto one profiled
+                # layer; each slot owns its profile_share of the MACs.
+                macs += (
+                    macs_by_layer.get(slot.profile_name, 0.0) * slot.profile_share
+                )
         block_bits.append(bits)
         block_macs.append(macs)
     use_macs = sum(block_macs) > 0
@@ -240,7 +294,7 @@ def plan_shards(
         run = blocks[start : start + length]
         step_indices = tuple(i for block in run for i in block)
         layer_ids = tuple(
-            slot.layer_id for i in step_indices for slot in _step_slots(steps[i])
+            slot.layer_id for i in step_indices for slot in _node_slots(nodes[i])
         )
         segments.append(
             ShardSegment(
@@ -349,10 +403,46 @@ class ShardedModel:
         self.compiled = compiled
         self.plan = plan
         self.link = link if link is not None else SIMBA_LINK
-        steps = compiled._steps
-        self._stages: List[List[Any]] = [
-            [steps[i] for i in segment.step_indices] for segment in plan.segments
+        self._stages: List[Tuple[int, ...]] = [
+            tuple(segment.step_indices) for segment in plan.segments
         ]
+        # Every stage boundary must be a single-edge frontier: the one
+        # value crossing it is the previous stage's last node.  Guard
+        # it for externally supplied (or restored) plans.
+        nodes = compiled._nodes
+        flat = [i for stage in self._stages for i in stage]
+        if flat != list(range(len(nodes))):
+            raise ValueError(
+                "shard plan must cover the plan nodes exactly once, in order"
+            )
+        legal = _legal_cuts(nodes, compiled._output_index)
+        for stage in self._stages[:-1]:
+            if stage and not legal[stage[-1]]:
+                raise ValueError(
+                    f"illegal shard boundary after node {stage[-1]} "
+                    f"({nodes[stage[-1]].name!r}): more than one live value "
+                    f"crosses it (a fan-out diamond cannot be cut)"
+                )
+
+    def _run_stage(self, s: int, x: np.ndarray, state: _RunState) -> np.ndarray:
+        """Execute stage ``s`` on the inbound tensor ``x``.
+
+        The inbound value is bound to the producer it represents — the
+        previous stage's last node (the single crossing edge), or the
+        model input for stage 0 — so in-stage nodes resolve their DAG
+        edges exactly as the unsharded plan would.
+        """
+        indices = self._stages[s]
+        if not indices:
+            return x
+        nodes = self.compiled._nodes
+        inbound = indices[0] - 1 if s else INPUT
+        values: Dict[int, np.ndarray] = {inbound: x}
+        for i in indices:
+            node = nodes[i]
+            args = tuple(values[j] for j in node.inputs)
+            values[i] = node.op.apply(*args, state)
+        return values[indices[-1]]
 
     # -- delegation (duck-compatible with CompiledModel) ---------------
     @property
@@ -426,9 +516,8 @@ class ShardedModel:
         x = np.asarray(batch, dtype=np.float64)
         n_samples = x.shape[0] if x.ndim else 1
         last = len(self._stages) - 1
-        for s, stage in enumerate(self._stages):
-            for step in stage:
-                x = step.apply(x, state)
+        for s in range(len(self._stages)):
+            x = self._run_stage(s, x, state)
             if s < last:
                 state.stats = state.stats + self._transfer_stats(x)
         if session is not None:
@@ -489,7 +578,6 @@ class ShardedModel:
         last = n_shards - 1
 
         def worker(s: int) -> None:
-            stage = self._stages[s]
             inbox, outbox = queues[s], queues[s + 1]
             while True:
                 item = inbox.get()
@@ -500,8 +588,7 @@ class ShardedModel:
                     continue  # drain the pipe; the stream already failed
                 try:
                     before = item.state.stats.latency_ns
-                    for step in stage:
-                        item.x = step.apply(item.x, item.state)
+                    item.x = self._run_stage(s, item.x, item.state)
                     item.compute_ns[s] = item.state.stats.latency_ns - before
                     if s < last:
                         transfer = self._transfer_stats(item.x)

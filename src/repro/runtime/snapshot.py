@@ -89,7 +89,10 @@ FORMAT = "repro-compiled-model"
 #: Bumped on any incompatible change to the artifact layout.  The
 #: version participates in :func:`artifact_key`, so a format bump makes
 #: old artifacts *miss* (recompile-and-resave) rather than error.
-VERSION = 1
+#: History: 1 — linear step plans; 2 — DAG plan IR (residual composites
+#: as first-class module kinds, per-group engines for grouped convs,
+#: plan topology recorded in the header).
+VERSION = 2
 
 #: Leading bytes of every artifact container file.
 MAGIC = b"RCMA1\n"
@@ -282,13 +285,19 @@ def _link_from_meta(meta: Dict[str, Any]) -> ChipletLinkSpec:
 # Module-tree (de)serialization
 # ----------------------------------------------------------------------
 class RestoredComposite(nn.Module):
-    """Generic container standing in for a custom composite module.
+    """Generic container standing in for a serial custom composite.
 
-    The deployment plan treats any composite as "chain the children in
-    registration order" (see ``_PlanBuilder.build``), so a restored
-    artifact only needs the children and their names — not the original
-    class.  ``source_type`` records the original class name for repr.
+    Only composites whose dataflow *is* the registration-order child
+    chain serialize generically (``plan_forward = nn.plan_serial``, a
+    non-overridden forward, or a plain ``Sequential``); composites with
+    a real graph (residual adds, grouped diamonds) serialize as their
+    registered kind (see :func:`_plan_composites`) so the restored
+    module carries the original ``plan_forward``.  ``source_type``
+    records the original class name for repr.
     """
+
+    #: The restored dataflow is exactly the serial chain.
+    plan_forward = nn.plan_serial
 
     def __init__(self, source_type: str = "Module"):
         super().__init__()
@@ -301,6 +310,23 @@ class RestoredComposite(nn.Module):
 
     def extra_repr(self) -> str:
         return f"restored={self.source_type}"
+
+
+def _plan_composites() -> Dict[str, type]:
+    """Composite kinds with a non-serial ``plan_forward`` the artifact
+    format can name.  Restoring one rebuilds the original class (its
+    ``plan_forward`` carries the dataflow), so residual and
+    depthwise-separable models round-trip with their graphs intact.
+    Lazy import: ``repro.models`` must stay importable without the
+    runtime package being fully initialized.
+    """
+    from repro.models.mobilenet import DepthwiseSeparable
+    from repro.models.resnet import BasicBlock
+
+    return {
+        "basic_block": BasicBlock,
+        "depthwise_separable": DepthwiseSeparable,
+    }
 
 
 class _TreeWriter:
@@ -385,7 +411,31 @@ class _TreeWriter:
             # must not silently degrade to its base behaviour.
             if type(module) is cls:
                 return {"kind": kind}
+        for kind, cls in _plan_composites().items():
+            # Exact class match: graph composites restore as their real
+            # class so the original plan_forward carries the dataflow.
+            if type(module) is cls:
+                return {
+                    "kind": kind,
+                    "children": [
+                        [name, self.spec(child)]
+                        for name, child in module._modules.items()
+                    ],
+                }
         if isinstance(module, nn.Sequential) or module._modules:
+            plan = getattr(type(module), "plan_forward", None)
+            if (
+                plan is not None
+                and plan is not nn.plan_serial
+                and not isinstance(module, nn.Sequential)
+            ):
+                raise SnapshotError(
+                    f"cannot serialize composite {type(module).__name__} "
+                    f"with a custom plan_forward dataflow; a generic "
+                    f"restore would silently degrade it to a serial chain "
+                    f"(register the class in snapshot._plan_composites to "
+                    f"make it addressable)"
+                )
             return {
                 "kind": "composite",
                 "source_type": type(module).__name__,
@@ -499,6 +549,14 @@ def _restore_module(spec: Dict[str, Any], arrays) -> nn.Module:
         )
     if kind in _STATELESS_LEAVES:
         return _STATELESS_LEAVES[kind]()
+    plan_composites = _plan_composites()
+    if kind in plan_composites:
+        cls = plan_composites[kind]
+        module = cls.__new__(cls)
+        nn.Module.__init__(module)
+        for name, child_spec in spec["children"]:
+            setattr(module, name, _restore_module(child_spec, arrays))
+        return module
     if kind == "composite":
         if spec["sequential"]:
             module: nn.Module = nn.Sequential()
@@ -677,6 +735,7 @@ def _restore_kernel(
     kernel.engine = engine
     kernel._groups = groups
     kernel._path_cache = {}
+    kernel._fused_cache = {}
     return kernel
 
 
@@ -1150,6 +1209,11 @@ def save(compiled, store: ArtifactStore, *, key: Optional[str] = None) -> str:
         "fingerprints": fingerprints,
         "engines": engines_meta,
         "n_weight_layers": base.n_weight_layers,
+        # The realized DAG topology (node names, op kinds, input edges,
+        # output index).  load() rebuilds the plan from the module tree
+        # and then checks it against this record, so a restore can never
+        # silently execute a different graph than the one saved.
+        "plan": base.plan_spec(),
     }
     if sharded is not None:
         meta["shards"] = {
@@ -1284,6 +1348,15 @@ def load(
                     f"{slot.layer_id!r} do not match the fingerprint its "
                     f"programmed engines were saved under"
                 )
+    # The plan rebuilt over the restored tree must realize the exact
+    # DAG topology the artifact records — a divergence means the tree
+    # and the saved graph no longer describe the same execution.
+    recorded_plan = meta.get("plan")
+    if recorded_plan is not None and compiled.plan_spec() != recorded_plan:
+        raise SnapshotCorruptError(
+            f"artifact {key!r}: the plan rebuilt from the stored module "
+            f"tree does not match the recorded graph topology"
+        )
 
     shard_meta = meta.get("shards")
     if shard_meta is None:

@@ -244,9 +244,8 @@ class TestLinkAccounting:
         # measure the tensors crossing the two cuts.
         expected_bits = 0.0
         y = x
-        for s, stage in enumerate(sharded._stages):
-            for step in stage:
-                y = step.apply(y, _fresh_state(compiled))
+        for s in range(sharded.n_shards):
+            y = sharded._run_stage(s, y, _fresh_state(compiled))
             if s < sharded.n_shards - 1:
                 expected_bits += y.size * compiled.config.activation_bits
         assert stats.link_bits == expected_bits

@@ -91,10 +91,38 @@ def rebranch_model(seed=0):
     )
 
 
+def resnet8_model(seed=0):
+    """Width-reduced resnet8: residual shortcuts through the DAG plan."""
+    from repro.models.resnet import resnet8
+    from repro.runtime import fold_batchnorm
+
+    model = resnet8(
+        num_classes=4, width_mult=0.125, rng=np.random.default_rng(seed)
+    )
+    model.eval()
+    fold_batchnorm(model)
+    return model
+
+
+def mobilenet_model(seed=0):
+    """Width-reduced mobilenet: depthwise grouped-conv engine state."""
+    from repro.models.mobilenet import mobilenet
+    from repro.runtime import fold_batchnorm
+
+    model = mobilenet(
+        num_classes=4, width_mult=0.125, rng=np.random.default_rng(seed)
+    )
+    model.eval()
+    fold_batchnorm(model)
+    return model
+
+
 MODELS = {
     "conv": conv_model,
     "linear": linear_model,
     "rebranch": rebranch_model,
+    "resnet8": resnet8_model,
+    "mobilenet": mobilenet_model,
 }
 
 
@@ -187,6 +215,11 @@ class TestRoundTripIdentity:
 
     def test_custom_composite_round_trips_with_layer_ids(self, store):
         class Block(nn.Module):
+            #: forward is the registration-order chain, declared so the
+            #: runtime compiles it and the artifact serializes it
+            #: generically.
+            plan_forward = nn.plan_serial
+
             def __init__(self, rng):
                 super().__init__()
                 self.body = nn.Conv2d(3, 4, 3, padding=1, rng=rng)

@@ -147,6 +147,16 @@ class TestExtensionCommands:
         assert main(["chiplets", "--model", "tiny_yolo"]) == 0
         assert "rom_chips" in capsys.readouterr().out
 
+    def test_runtime_command_over_zoo_model(self, capsys):
+        assert main(["runtime", "--model", "resnet8"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "True" in out  # bitwise verdicts
+
+    def test_shard_command_over_zoo_model(self, capsys):
+        assert main(["shard", "--model", "resnet8", "--batches", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined_ms" in out and "True" in out
+
     @pytest.mark.slow
     def test_dusearch_command(self, capsys):
         assert main(["dusearch"]) == 0
