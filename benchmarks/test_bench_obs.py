@@ -1,0 +1,133 @@
+"""Observability overhead benchmark.
+
+The acceptance bar for the tracing subsystem: with tracing *disabled*
+(the default), ``CompiledModel.run`` must stay within 3% of the
+pre-instrumentation execution path — a closure that builds the run
+state and walks ``_execute_plan`` directly, with no tracer guard at
+all.  And tracing must never touch arithmetic: runs with the tracer
+installed are bitwise identical to untraced runs and to
+``runtime.reference_forward``.
+"""
+
+import time
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.common import format_table
+from repro.obs import trace
+from repro.runtime import EngineCache, compile_model, reference_forward
+from repro.runtime.compiled import _RunState
+
+IN_FEATURES = 128
+BATCH = 8
+SEED = 0
+CALLS = 200
+REPEATS = 7
+OVERHEAD_BAR = 0.03
+
+
+def build_model():
+    rng = np.random.default_rng(SEED)
+    return nn.Sequential(
+        nn.Linear(IN_FEATURES, 64, rng=rng),
+        nn.ReLU(),
+        nn.Linear(64, 10, rng=rng),
+    )
+
+
+def build_batch():
+    return np.random.default_rng(SEED + 1).normal(size=(BATCH, IN_FEATURES))
+
+
+def _baseline_runner(compiled):
+    """The pre-instrumentation hot path: no tracer guard, no branch."""
+    execute = compiled._execute_plan
+    encoding = compiled.config.encoding
+    rng = compiled._rng
+
+    def run(x):
+        state = _RunState(rng=rng, encoding=encoding)
+        return execute(np.asarray(x, dtype=np.float64), state), state.stats
+
+    return run
+
+
+def _time_leg(fn, x) -> float:
+    start = time.perf_counter()
+    for _ in range(CALLS):
+        fn(x)
+    return time.perf_counter() - start
+
+
+def measure_overhead() -> tuple:
+    compiled = compile_model(build_model(), cache=EngineCache())
+    x = build_batch()
+    baseline = _baseline_runner(compiled)
+    # Warm both paths (einsum caching, page cache).
+    for _ in range(8):
+        baseline(x)
+        compiled.run(x)
+    assert trace.current() is None, "tracing must be off for this benchmark"
+    # Interleave the legs so slow drift on a shared runner (thermal,
+    # co-running jobs) hits both paths alike; best-of then discards the
+    # transient spikes.
+    baseline_s = guarded_s = float("inf")
+    for _ in range(REPEATS):
+        baseline_s = min(baseline_s, _time_leg(baseline, x))
+        guarded_s = min(guarded_s, _time_leg(compiled.run, x))
+    return baseline_s, guarded_s
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    return measure_overhead()
+
+
+def test_bench_obs_report(benchmark, overhead):
+    benchmark(lambda: None)
+    baseline_s, guarded_s = overhead
+    rows: List[tuple] = [
+        ("pre-instrumentation loop", round(baseline_s * 1e3, 2), 1.0),
+        (
+            "run() with tracer guard",
+            round(guarded_s * 1e3, 2),
+            round(guarded_s / baseline_s, 4),
+        ),
+    ]
+    print()
+    print(format_table(rows, ["path", f"ms / {CALLS} calls", "ratio"]))
+
+
+def test_bench_obs_disabled_overhead_under_3pct(benchmark, overhead):
+    """Tracing off: the guard costs < 3% end to end."""
+    benchmark(lambda: None)
+    baseline_s, guarded_s = overhead
+    ratio = guarded_s / baseline_s
+    if ratio > 1.0 + OVERHEAD_BAR:
+        # Wall-clock ratios are load-sensitive on shared runners; give a
+        # transient spike one re-measure before calling it a regression.
+        baseline_s, guarded_s = measure_overhead()
+        ratio = guarded_s / baseline_s
+    assert ratio <= 1.0 + OVERHEAD_BAR, (
+        f"disabled-tracing overhead {100 * (ratio - 1):.2f}% exceeds "
+        f"{100 * OVERHEAD_BAR:.0f}% ({guarded_s * 1e3:.2f} ms vs "
+        f"{baseline_s * 1e3:.2f} ms per {CALLS} calls)"
+    )
+
+
+def test_bench_obs_tracing_never_touches_arithmetic(benchmark):
+    """Traced, untraced, and reference outputs are bitwise identical."""
+    benchmark(lambda: None)
+    model = build_model()
+    compiled = compile_model(model, cache=EngineCache())
+    x = build_batch()
+    expected, _ = reference_forward(model, x)
+    untraced, _ = compiled.run(x, rng=np.random.default_rng(SEED + 2))
+    with trace.tracing() as tracer:
+        traced, _ = compiled.run(x, rng=np.random.default_rng(SEED + 2))
+    assert len(tracer) > 0, "tracing was enabled but recorded nothing"
+    assert np.array_equal(untraced, traced)
+    assert np.array_equal(untraced, expected)

@@ -31,7 +31,7 @@ Top-level subpackages
     One runner per paper table/figure.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "nn",

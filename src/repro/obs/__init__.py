@@ -1,0 +1,51 @@
+"""Observability: structured tracing, metrics exposition, profiling.
+
+The substrate every layer of the stack reports through:
+
+* :mod:`repro.obs.trace` — thread-safe nested spans over two clocks
+  (wall ``perf_counter`` + simulated ``MacroStats.latency_ns``);
+  disabled by default with a near-zero hot-path guard.
+* :mod:`repro.obs.chrome` — Chrome trace-event JSON exporter
+  (Perfetto-loadable, one track per thread plus a synthetic
+  simulated-chip-time track).
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`
+  (counters/gauges/histograms) with Prometheus text + JSON exposition
+  and a one-call :func:`collect_server` snapshot.
+* :mod:`repro.obs.stats` — the shared nearest-rank percentile /
+  :class:`LatencySummary` helpers.
+* :mod:`repro.obs.log` — the ``repro`` logger hierarchy
+  (``NullHandler`` by default; the CLI's ``-v`` wires it up).
+* :mod:`repro.obs.profiler` — the per-plan-node profiler behind
+  ``repro profile`` (imported lazily: it depends on the runtime).
+
+See docs/observability.md for the span model and exporter formats.
+"""
+
+from repro.obs import trace
+from repro.obs.chrome import chrome_trace, export_chrome
+from repro.obs.log import configure as configure_logging, get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collect_cache,
+    collect_server,
+    export_prometheus,
+)
+from repro.obs.stats import LatencySummary, percentile
+from repro.obs.trace import Span, SpanRecord, Tracer
+
+__all__ = [
+    "trace",
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "chrome_trace",
+    "export_chrome",
+    "MetricsRegistry",
+    "collect_cache",
+    "collect_server",
+    "export_prometheus",
+    "LatencySummary",
+    "percentile",
+    "get_logger",
+    "configure_logging",
+]

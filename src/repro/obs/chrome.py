@@ -1,0 +1,149 @@
+"""Chrome trace-event exporter.
+
+Serialises a :class:`~repro.obs.trace.Tracer` into the Chrome
+trace-event JSON object format (the one ``chrome://tracing`` and
+Perfetto load): ``{"traceEvents": [...]}`` where every finished span
+becomes a ``ph: "X"`` *complete* event with microsecond ``ts``/``dur``,
+plus ``ph: "M"`` metadata events naming the processes and threads.
+
+Two synthetic *processes* organise the tracks:
+
+* **pid 1 — "wall clock"**: one track (tid) per real thread that
+  recorded spans — server workers, ``shard-{s}`` stream threads, the
+  main thread — with ``ts`` relative to the earliest span so traces
+  start at 0.
+* **pid 2 — "simulated chip"**: a synthetic per-thread track laid out
+  in the simulated clock.  Spans carrying a ``chip_ns`` attribute (the
+  leaf compute spans) are placed end-to-end per thread in wall-start
+  order, each with ``dur = chip_ns / 1000`` µs — so the track's total
+  extent *is* the chip time the run accumulated, directly comparable
+  against the wall tracks above it.
+
+Span attributes ride along in ``args`` and show in the Perfetto span
+detail pane.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Union
+
+from repro.obs.trace import SpanRecord, Tracer
+
+WALL_PID = 1
+CHIP_PID = 2
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The trace-event object for ``tracer`` (see module docstring)."""
+    spans = tracer.spans()
+    events: List[Dict[str, Any]] = [
+        _meta(WALL_PID, 0, "process_name", {"name": "wall clock"}),
+        _meta(CHIP_PID, 0, "process_name", {"name": "simulated chip"}),
+    ]
+    if not spans:
+        return {"traceEvents": events}
+
+    epoch = min(s.t0 for s in spans)
+    # Stable tid per thread, in order of first appearance; thread names
+    # come from the span that recorded them (retroactive spans may carry
+    # a display name distinct from the recording thread).
+    tids: Dict[tuple, int] = {}
+    for span in spans:
+        track = (span.thread_id, span.thread_name)
+        if track not in tids:
+            tid = len(tids) + 1
+            tids[track] = tid
+            events.append(
+                _meta(WALL_PID, tid, "thread_name", {"name": span.thread_name})
+            )
+
+    for span in spans:
+        tid = tids[(span.thread_id, span.thread_name)]
+        events.append(
+            {
+                "ph": "X",
+                "pid": WALL_PID,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": (span.t0 - epoch) * 1e6,
+                "dur": span.wall_s * 1e6,
+                "args": _args(span),
+            }
+        )
+
+    events.extend(_chip_events(spans, tids))
+    if tracer.dropped:
+        events.append(
+            _meta(WALL_PID, 0, "process_labels",
+                  {"labels": f"{tracer.dropped} spans dropped"})
+        )
+    return {"traceEvents": events}
+
+
+def _chip_events(
+    spans: List[SpanRecord],
+    tids: Dict[tuple, int],
+) -> List[Dict[str, Any]]:
+    """The pid-2 synthetic track: chip_ns spans end-to-end per thread."""
+    events: List[Dict[str, Any]] = []
+    cursors: Dict[int, float] = {}
+    named: Dict[int, bool] = {}
+    chip = [s for s in sorted(spans, key=lambda s: s.t0) if "chip_ns" in s.attrs]
+    for span in chip:
+        tid = tids[(span.thread_id, span.thread_name)]
+        if tid not in named:
+            named[tid] = True
+            events.append(
+                _meta(CHIP_PID, tid, "thread_name",
+                      {"name": f"{span.thread_name} (chip)"})
+            )
+        start_us = cursors.get(tid, 0.0)
+        dur_us = span.chip_ns / 1000.0
+        cursors[tid] = start_us + dur_us
+        events.append(
+            {
+                "ph": "X",
+                "pid": CHIP_PID,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": start_us,
+                "dur": dur_us,
+                "args": _args(span),
+            }
+        )
+    return events
+
+
+def _meta(pid: int, tid: int, name: str, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"ph": "M", "pid": pid, "tid": tid, "name": name, "args": args}
+
+
+def _args(span: SpanRecord) -> Dict[str, Any]:
+    args = {k: _jsonable(v) for k, v in span.attrs.items()}
+    args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    return args
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:  # numpy scalars
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+def export_chrome(tracer: Tracer, out: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Write ``chrome_trace(tracer)`` as JSON to a path or open file."""
+    doc = chrome_trace(tracer)
+    if hasattr(out, "write"):
+        json.dump(doc, out)  # type: ignore[arg-type]
+    else:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    return doc

@@ -1,0 +1,44 @@
+"""Library-grade logging for the ``repro`` package.
+
+The root ``repro`` logger carries a :class:`logging.NullHandler` —
+importing the library never configures handlers or emits output, as a
+library must not (the stdlib logging HOWTO contract).  Modules obtain
+children through :func:`get_logger` (``repro.runtime.cache``,
+``repro.serve.registry`` …) and log *decisions* at DEBUG level: cache
+program vs disk-restore, warm-start vs cold compile, snapshot
+save/load, server lifecycle.
+
+Applications opt in; the CLI's global ``-v/--verbose`` flag calls
+:func:`configure` (``-v`` → INFO, ``-vv`` → DEBUG) which wires
+``logging.basicConfig`` for the ``repro`` hierarchy.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Root logger of the library hierarchy.
+ROOT = logging.getLogger("repro")
+ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` child logger (idempotent)."""
+    return ROOT.getChild(name)
+
+
+def configure(verbosity: int = 0) -> None:
+    """Wire console logging for the ``repro`` hierarchy.
+
+    ``0`` leaves the library silent (NullHandler only); ``1`` enables
+    INFO, ``2`` or more DEBUG.  Calls ``logging.basicConfig`` — safe to
+    call once per process, exactly what a CLI entry point wants.
+    """
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+    )
+    ROOT.setLevel(level)

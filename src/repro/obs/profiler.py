@@ -1,0 +1,208 @@
+"""DAG-level runtime profiler: per-plan-node cost attribution.
+
+Runs a compiled model under a private tracer and aggregates the
+per-node spans :meth:`CompiledModel.run` emits into a
+:class:`ProfileReport` — per plan node: wall time, simulated chip time,
+energy, MACs, share of the run's total energy, and the engine-cache
+tier the node's engines currently reside in.  The node energy values
+are deltas of the run's cumulative :class:`MacroStats`, so the report's
+energy column sums to ``stats.total_energy_fj`` of the profiled runs
+(the invariant ``repro profile`` prints and tests pin).
+
+:func:`collapsed_stacks` renders the same spans in the folded
+``stack;frames count`` format flamegraph tooling consumes
+(https://github.com/brendangregg/FlameGraph — ``flamegraph.pl`` or any
+of its ports).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import trace
+from repro.obs.trace import SpanRecord, Tracer
+
+
+@dataclass
+class NodeProfile:
+    """Aggregated cost of one plan node over the profiled runs."""
+
+    name: str
+    kind: str
+    calls: int = 0
+    wall_s: float = 0.0
+    chip_ns: float = 0.0
+    energy_fj: float = 0.0
+    macs: float = 0.0
+    tier: str = ""
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of :func:`profile`: per-node rows plus run totals."""
+
+    model: str
+    batch: int
+    runs: int
+    nodes: List[NodeProfile]
+    wall_s: float
+    stats: object  # MacroStats of all profiled runs combined
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+
+    @property
+    def total_energy_fj(self) -> float:
+        return sum(node.energy_fj for node in self.nodes)
+
+    @property
+    def total_chip_ns(self) -> float:
+        return sum(node.chip_ns for node in self.nodes)
+
+    def rows(self) -> List[Tuple]:
+        """Table rows: node, kind, calls, wall ms, chip ns, energy fJ,
+        MACs, % of total energy, engine-cache tier."""
+        total = self.total_energy_fj
+        rows: List[Tuple] = []
+        for node in self.nodes:
+            share = 100.0 * node.energy_fj / total if total else 0.0
+            rows.append(
+                (
+                    node.name or "<input>",
+                    node.kind,
+                    node.calls,
+                    round(node.wall_s * 1e3, 3),
+                    round(node.chip_ns, 1),
+                    round(node.energy_fj, 1),
+                    round(node.macs),
+                    round(share, 1),
+                    node.tier or "-",
+                )
+            )
+        return rows
+
+
+def _slot_tiers(compiled) -> Dict[str, str]:
+    """Plan-node name -> engine-cache tier (weight-bearing nodes only)."""
+    from repro.runtime.sharded import _node_slots
+
+    tiers: Dict[str, str] = {}
+    for node in compiled._nodes:
+        slots = _node_slots(node)
+        if not slots:
+            continue
+        unique = sorted({slot.cache_tier() for slot in slots})
+        tiers[node.name] = unique[0] if len(unique) == 1 else "+".join(unique)
+    return tiers
+
+
+def profile(
+    compiled,
+    batch: np.ndarray,
+    *,
+    runs: int = 1,
+    rng_seed: int = 0,
+) -> ProfileReport:
+    """Profile ``runs`` executions of ``batch`` through ``compiled``.
+
+    ``compiled`` is a :class:`~repro.runtime.CompiledModel` (a
+    :class:`~repro.runtime.ShardedModel` profiles its underlying
+    compiled plan).  Each run draws from ``default_rng(rng_seed + i)``,
+    so the profile is reproducible and bitwise identical to equally
+    seeded plain runs.  Uses a private tracer — an installed
+    process-wide tracer is restored afterwards.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if hasattr(compiled, "compiled"):  # ShardedModel: profile the plan
+        compiled = compiled.compiled
+    x = np.asarray(batch, dtype=np.float64)
+
+    total = None
+    t0 = time.perf_counter()
+    with trace.tracing() as tracer:
+        for i in range(runs):
+            _, stats = compiled.run(x, rng=np.random.default_rng(rng_seed + i))
+            total = stats if total is None else total + stats
+    wall_s = time.perf_counter() - t0
+
+    nodes: Dict[str, NodeProfile] = {}
+    plan_index: Dict[str, int] = {}
+    for span in tracer.spans():
+        if span.category != "plan":
+            continue
+        node = nodes.get(span.name)
+        if node is None:
+            node = nodes[span.name] = NodeProfile(
+                name=span.name, kind=str(span.attrs.get("kind", ""))
+            )
+            plan_index[span.name] = int(span.attrs.get("node_index", 0))
+        node.calls += 1
+        node.wall_s += span.wall_s
+        node.chip_ns += span.chip_ns
+        node.energy_fj += float(span.attrs.get("energy_fj", 0.0))
+        node.macs += float(span.attrs.get("macs", 0.0))
+    # Report in plan order, not span-completion order.
+    order = sorted(nodes, key=lambda name: plan_index[name])
+
+    tiers = _slot_tiers(compiled)
+    for name, node in nodes.items():
+        node.tier = tiers.get(name, "")
+
+    return ProfileReport(
+        model=type(compiled.model).__name__,
+        batch=int(x.shape[0]) if x.ndim else 1,
+        runs=runs,
+        nodes=[nodes[name] for name in order],
+        wall_s=wall_s,
+        stats=total,
+        tracer=tracer,
+    )
+
+
+def collapsed_stacks(
+    tracer: Tracer, *, metric: str = "wall_us"
+) -> List[str]:
+    """Folded flamegraph lines (``frame;frame;... value``) from a trace.
+
+    Stacks follow span parentage (``run;conv1;...``); the value is the
+    span's *self* cost — its metric minus its children's — so the
+    flamegraph's widths add up correctly.  ``metric`` is ``"wall_us"``
+    (integer microseconds) or ``"chip_ns"`` (simulated nanoseconds).
+    """
+    if metric not in ("wall_us", "chip_ns"):
+        raise ValueError(f"unknown metric {metric!r}")
+    spans = tracer.spans()
+    by_id: Dict[int, SpanRecord] = {span.span_id: span for span in spans}
+
+    def value_of(span: SpanRecord) -> float:
+        if metric == "wall_us":
+            return span.wall_s * 1e6
+        return span.chip_ns
+
+    children_cost: Dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children_cost[span.parent_id] = (
+                children_cost.get(span.parent_id, 0.0) + value_of(span)
+            )
+
+    totals: Dict[str, float] = {}
+    for span in spans:
+        frames = [span.name or "<anon>"]
+        parent = span.parent_id
+        while parent is not None and parent in by_id:
+            record = by_id[parent]
+            frames.append(record.name or "<anon>")
+            parent = record.parent_id
+        stack = ";".join(reversed(frames))
+        self_cost = max(value_of(span) - children_cost.get(span.span_id, 0.0), 0.0)
+        totals[stack] = totals.get(stack, 0.0) + self_cost
+
+    return [
+        f"{stack} {max(int(round(value)), 0)}"
+        for stack, value in sorted(totals.items())
+        if int(round(value)) > 0
+    ]

@@ -1,0 +1,47 @@
+"""Shared latency statistics: nearest-rank percentiles and summaries.
+
+One implementation for every layer that reports latency percentiles —
+the server's :class:`~repro.serve.metrics.ServerMetrics`, the
+client-side :class:`~repro.serve.loadgen.LoadReport`, and the
+profiler — so the p50/p95/p99 triple cannot drift between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(values: np.ndarray, q: float) -> float:
+    """Nearest-rank percentile (no interpolation): the q-th of N sorted
+    observations is element ``ceil(q/100 * N) - 1``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    ordered = np.sort(values)
+    rank = max(int(np.ceil(q / 100.0 * ordered.size)) - 1, 0)
+    return float(ordered[rank])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The p50/p95/p99 (+ count, mean) summary every layer reports."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "LatencySummary":
+        arr = np.asarray(values, dtype=np.float64)
+        return LatencySummary(
+            count=int(arr.size),
+            mean_s=float(arr.mean()) if arr.size else 0.0,
+            p50_s=percentile(arr, 50),
+            p95_s=percentile(arr, 95),
+            p99_s=percentile(arr, 99),
+        )

@@ -25,8 +25,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs import trace
+from repro.obs.log import get_logger
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cim.macro import MacroConfig
+
+_log = get_logger("runtime.cache")
 
 
 @dataclass(frozen=True)
@@ -153,6 +158,9 @@ class EngineCache:
         self.store = store
         self.stats = CacheStats()
         self._entries: "OrderedDict[EngineKey, Any]" = OrderedDict()
+        # Provenance of each resident engine: "programmed", "disk"
+        # (restored from the disk tier) or "snapshot" (seeded by put()).
+        self._tiers: Dict[EngineKey, str] = {}
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -183,18 +191,29 @@ class EngineCache:
             self.stats.misses += 1
         # Disk tier and programming both run outside the lock: neither
         # may serialize concurrent sessions compiling other layers.
-        restored = self._from_disk(key)
+        if self.store is not None:
+            with trace.maybe_span(
+                "engine_disk_load", "cache", layer=key.layer_id
+            ) as sp:
+                restored = self._from_disk(key)
+                if sp is not None:
+                    sp.set("hit", restored is not None)
+        else:
+            restored = self._from_disk(key)
         if restored is not None:
             with self._lock:
                 self.stats.disk_hits += 1
-            return self._retain(key, restored)
-        engine = factory()
+            _log.debug("engine %s: restored from disk tier", key.layer_id)
+            return self._retain(key, restored, "disk")
+        with trace.maybe_span("engine_program", "cache", layer=key.layer_id):
+            engine = factory()
         with self._lock:
             self.stats.programmed += 1
+        _log.debug("engine %s: programmed from scratch", key.layer_id)
         self._to_disk(key, engine)
-        return self._retain(key, engine)
+        return self._retain(key, engine, "programmed")
 
-    def _retain(self, key: EngineKey, engine: Any) -> Any:
+    def _retain(self, key: EngineKey, engine: Any, tier: str = "programmed") -> Any:
         with self._lock:
             if self.capacity > 0:
                 existing = self._entries.get(key)
@@ -203,10 +222,21 @@ class EngineCache:
                     self._entries.move_to_end(key)
                     return existing
                 self._entries[key] = engine
+                self._tiers[key] = tier
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._tiers.pop(evicted, None)
                     self.stats.evictions += 1
         return engine
+
+    def tier_of(self, key: EngineKey) -> Optional[str]:
+        """Provenance of the resident engine for ``key`` —
+        ``"programmed"``, ``"disk"`` or ``"snapshot"`` — or ``None``
+        when the key is not resident in the memory tier."""
+        with self._lock:
+            if key not in self._entries:
+                return None
+            return self._tiers.get(key, "programmed")
 
     def _from_disk(self, key: EngineKey) -> Optional[Any]:
         """Disk-tier lookup; any failure degrades to a miss, never raises."""
@@ -238,13 +268,16 @@ class EngineCache:
                 return
             self._entries[key] = engine
             self._entries.move_to_end(key)
+            self._tiers[key] = "snapshot"
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._tiers.pop(evicted, None)
                 self.stats.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._tiers.clear()
 
     def keys(self):
         with self._lock:

@@ -50,15 +50,19 @@ import numpy as np
 
 from repro import nn
 from repro.cim.cells import ROM_1T, SRAM_CIM_6T
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.cim.encoding import ActivationEncoding
 from repro.cim.macro import MacroConfig, MacroStats
 from repro.rebranch.branch import ReBranchConv2d
 from repro.runtime.cache import EngineCache, resolve_cache, weight_fingerprint
 from repro.runtime.engine import (
     conv_engine,
+    conv_engine_key,
     conv_patches,
     grouped_conv_execute,
     linear_engine,
+    linear_engine_key,
 )
 from repro.runtime.errors import CompileError, UnsupportedModuleError
 from repro.runtime.programming import (
@@ -69,6 +73,8 @@ from repro.runtime.programming import (
 )
 from repro.runtime.reference import pool2d as _pool
 from repro.runtime.session import ExecutionSession
+
+_log = get_logger("runtime.compile")
 
 #: Sentinel distinguishing "use the compiled default encoding" from an
 #: explicit ``encoding=None`` (force bit-serial) at run time.
@@ -292,6 +298,35 @@ class _EngineSlot:
             cache=self.cache,
             fingerprint=self.fingerprint,
         )
+
+    def cache_tier(self) -> str:
+        """Provenance of this slot's predicted engine in the shared
+        cache — ``"programmed"`` / ``"disk"`` / ``"snapshot"`` — or
+        ``"evicted"`` when the LRU dropped it (the slot's own strong
+        reference keeps the engine alive regardless)."""
+        config = self.config_fn()
+        if self.kind == "conv":
+            key = conv_engine_key(
+                self.weight_fn(),
+                self.stride,
+                self.padding,
+                config,
+                self.activation_bits,
+                self.predicted_signed,
+                layer_id=self.layer_id,
+                fingerprint=self.fingerprint,
+            )
+        else:
+            key = linear_engine_key(
+                self.weight_fn(),
+                config,
+                self.activation_bits,
+                self.predicted_signed,
+                layer_id=self.layer_id,
+                fingerprint=self.fingerprint,
+            )
+        tier = self.cache.tier_of(key)
+        return tier if tier is not None else "evicted"
 
     def refresh(self) -> bool:
         """Re-fingerprint the live weights; True when they changed."""
@@ -786,6 +821,20 @@ class CompiledModel:
         )
         x = np.asarray(batch, dtype=np.float64)
         n_samples = x.shape[0] if x.ndim else 1
+        # Resolve the tracer once per run: with tracing disabled this is
+        # one module-global read and the plan executes on the exact
+        # pre-instrumentation loop (benchmarked < 3% end-to-end).
+        tracer = trace.current()
+        if tracer is None:
+            out = self._execute_plan(x, state)
+        else:
+            out = self._execute_plan_traced(x, state, tracer, n_samples)
+        if session is not None:
+            session.record(state.stats, samples=n_samples)
+        return out, state.stats
+
+    def _execute_plan(self, x: np.ndarray, state: _RunState) -> np.ndarray:
+        """The untraced hot path (kept loop-for-loop minimal)."""
         values: Dict[int, np.ndarray] = {INPUT: x}
         remaining = dict(self._consumers)
         for i, node in enumerate(self._nodes):
@@ -795,10 +844,51 @@ class CompiledModel:
                 remaining[j] -= 1
                 if remaining[j] == 0:
                     del values[j]  # refcount hit zero: free the buffer
-        out = values[self._output_index]
-        if session is not None:
-            session.record(state.stats, samples=n_samples)
-        return out, state.stats
+        return values[self._output_index]
+
+    def _execute_plan_traced(
+        self,
+        x: np.ndarray,
+        state: _RunState,
+        tracer: "trace.Tracer",
+        n_samples: int,
+    ) -> np.ndarray:
+        """Same plan walk, one span per node carrying both clocks.
+
+        Each node span's ``chip_ns`` / ``energy_fj`` / ``macs`` are the
+        *deltas* of the run's cumulative :class:`MacroStats` across the
+        node, so the spans partition the run exactly: their energy sums
+        to ``stats.total_energy_fj`` and their chip time to
+        ``stats.latency_ns`` (the profiler and the chip-time trace track
+        rely on this).  The enclosing ``run`` span carries the totals
+        under ``chip_total_ns`` so it never double-counts into the
+        synthetic chip track.
+        """
+        with tracer.span(
+            "run", "runtime", model=type(self.model).__name__, batch=n_samples
+        ) as run_span:
+            values: Dict[int, np.ndarray] = {INPUT: x}
+            remaining = dict(self._consumers)
+            for i, node in enumerate(self._nodes):
+                args = tuple(values[j] for j in node.inputs)
+                before = state.stats
+                with tracer.span(node.name, "plan", kind=node.op.kind) as sp:
+                    values[i] = node.op.apply(*args, state)
+                    after = state.stats
+                    sp.set("chip_ns", after.latency_ns - before.latency_ns)
+                    sp.set(
+                        "energy_fj",
+                        after.total_energy_fj - before.total_energy_fj,
+                    )
+                    sp.set("macs", after.macs - before.macs)
+                    sp.set("node_index", i)
+                for j in node.inputs:
+                    remaining[j] -= 1
+                    if remaining[j] == 0:
+                        del values[j]
+            run_span.set("chip_total_ns", state.stats.latency_ns)
+            run_span.set("energy_total_fj", state.stats.total_energy_fj)
+        return values[self._output_index]
 
     def new_session(self) -> ExecutionSession:
         return ExecutionSession()
@@ -872,17 +962,33 @@ def compile(
     """
     config = config if config is not None else RuntimeConfig()
     cache = resolve_cache(cache)
-    if config.fold_bn:
-        fold_batchnorm(model)
-    validate_deployable(model)
-    builder = _PlanBuilder(config, cache, fingerprints)
-    output = builder.build(
-        model, "", PlanHandle(INPUT, config.assume_signed_input)
-    )
-    report = build_report(
-        model,
-        builder.rom_config.weight_bits,
-        builder.sram_config.weight_bits,
+    with trace.maybe_span(
+        "compile", "compile", model=type(model).__name__
+    ) as compile_span:
+        if config.fold_bn:
+            with trace.maybe_span("fold_batchnorm", "compile"):
+                fold_batchnorm(model)
+        with trace.maybe_span("validate_deployable", "compile"):
+            validate_deployable(model)
+        builder = _PlanBuilder(config, cache, fingerprints)
+        with trace.maybe_span("build_plan", "compile"):
+            output = builder.build(
+                model, "", PlanHandle(INPUT, config.assume_signed_input)
+            )
+        report = build_report(
+            model,
+            builder.rom_config.weight_bits,
+            builder.sram_config.weight_bits,
+        )
+        if compile_span is not None:
+            compile_span.set("nodes", len(builder.nodes))
+            compile_span.set("weight_layers", len(builder.slots))
+    _log.debug(
+        "compiled %s: %d plan nodes, %d weight layers, fold_bn=%s",
+        type(model).__name__,
+        len(builder.nodes),
+        len(builder.slots),
+        config.fold_bn,
     )
     compiled = CompiledModel(
         model,

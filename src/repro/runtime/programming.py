@@ -20,7 +20,10 @@ from typing import List, Tuple
 import numpy as np
 
 from repro import nn
+from repro.obs.log import get_logger
 from repro.rebranch.branch import ReBranchConv2d
+
+_log = get_logger("runtime.programming")
 
 
 # ----------------------------------------------------------------------
@@ -43,6 +46,8 @@ def fold_batchnorm(model: nn.Module) -> int:
             _fold_pair(conv, bn)
             setattr(parent, bn_name, nn.Identity())
             folded += 1
+    if folded:
+        _log.debug("folded %d conv/batchnorm pairs", folded)
     return folded
 
 

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.arch.chiplet import ChipletLinkSpec, SIMBA_LINK
 from repro.cim.macro import MacroStats
+from repro.obs import trace
 from repro.runtime.compiled import (
     _USE_DEFAULT,
     INPUT,
@@ -516,10 +517,28 @@ class ShardedModel:
         x = np.asarray(batch, dtype=np.float64)
         n_samples = x.shape[0] if x.ndim else 1
         last = len(self._stages) - 1
+        tracer = trace.current()  # resolved once; None is the hot path
         for s in range(len(self._stages)):
-            x = self._run_stage(s, x, state)
+            if tracer is None:
+                x = self._run_stage(s, x, state)
+            else:
+                with tracer.span(f"stage-{s}", "shard", shard=s) as sp:
+                    before = state.stats.latency_ns
+                    x = self._run_stage(s, x, state)
+                    sp.set("chip_ns", state.stats.latency_ns - before)
             if s < last:
-                state.stats = state.stats + self._transfer_stats(x)
+                transfer = self._transfer_stats(x)
+                state.stats = state.stats + transfer
+                if tracer is not None:
+                    # A point span on the wall clock; its chip_ns extent
+                    # is what matters on the simulated-chip track.
+                    with tracer.span(
+                        f"link-{s}", "link", shard=s,
+                        chip_ns=transfer.link_latency_ns,
+                        link_bits=transfer.link_bits,
+                        link_energy_fj=transfer.link_energy_fj,
+                    ):
+                        pass
         if session is not None:
             session.record(state.stats, samples=n_samples)
         return x, state.stats
@@ -576,6 +595,9 @@ class ShardedModel:
         ]
         errors: List[BaseException] = []
         last = n_shards - 1
+        # Resolved once, before the workers start: every shard thread
+        # traces into the same tracer (or none), never a mid-stream mix.
+        tracer = trace.current()
 
         def worker(s: int) -> None:
             inbox, outbox = queues[s], queues[s + 1]
@@ -588,12 +610,38 @@ class ShardedModel:
                     continue  # drain the pipe; the stream already failed
                 try:
                     before = item.state.stats.latency_ns
-                    item.x = self._run_stage(s, item.x, item.state)
+                    if tracer is None:
+                        item.x = self._run_stage(s, item.x, item.state)
+                    else:
+                        # One span per (shard, micro-batch) occupancy,
+                        # recorded on this shard's worker thread — the
+                        # per-shard tracks of the exported trace.
+                        with tracer.span(
+                            f"shard{s}:mb{item.index}",
+                            "shard",
+                            shard=s,
+                            microbatch=item.index,
+                        ) as sp:
+                            item.x = self._run_stage(s, item.x, item.state)
+                            sp.set(
+                                "chip_ns",
+                                item.state.stats.latency_ns - before,
+                            )
                     item.compute_ns[s] = item.state.stats.latency_ns - before
                     if s < last:
                         transfer = self._transfer_stats(item.x)
                         item.state.stats = item.state.stats + transfer
                         item.link_ns[s] = transfer.link_latency_ns
+                        if tracer is not None:
+                            with tracer.span(
+                                f"link{s}:mb{item.index}",
+                                "link",
+                                shard=s,
+                                microbatch=item.index,
+                                chip_ns=transfer.link_latency_ns,
+                                link_bits=transfer.link_bits,
+                            ):
+                                pass
                 except BaseException as error:  # noqa: BLE001 - re-raised below
                     errors.append(error)
                     continue

@@ -58,6 +58,8 @@ import numpy as np
 
 from repro import nn
 from repro.arch.chiplet import ChipletLinkSpec
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.cim.adc import AdcSpec
 from repro.cim.bitline import BitlineModel
 from repro.cim.cells import CellSpec
@@ -1157,6 +1159,9 @@ class ArtifactStore:
 # ----------------------------------------------------------------------
 # save / load
 # ----------------------------------------------------------------------
+_log = get_logger("runtime.snapshot")
+
+
 def save(compiled, store: ArtifactStore, *, key: Optional[str] = None) -> str:
     """Serialize ``compiled`` (a :class:`CompiledModel` or
     :class:`ShardedModel`) into ``store``; returns the artifact key.
@@ -1242,7 +1247,14 @@ def save(compiled, store: ArtifactStore, *, key: Optional[str] = None) -> str:
             link=None if sharded is None else sharded.link,
         )
     meta["key"] = key
-    store.write_model(key, meta, arrays)
+    with trace.maybe_span(
+        "snapshot_save", "snapshot", key=key, engines=len(engines_meta)
+    ):
+        store.write_model(key, meta, arrays)
+    _log.debug(
+        "snapshot %s: saved %d engines, %d weight layers",
+        key, len(engines_meta), base.n_weight_layers,
+    )
     return key
 
 
@@ -1275,6 +1287,22 @@ def load(
     the artifact's stored weights do not hash to the fingerprints its
     engines were programmed under.
     """
+    with trace.maybe_span(
+        "snapshot_load", "snapshot", key=key, verify=verify
+    ):
+        restored = _load_impl(store, key, cache=cache, rng=rng, verify=verify)
+    _log.debug("snapshot %s: restored %s", key, type(restored).__name__)
+    return restored
+
+
+def _load_impl(
+    store: ArtifactStore,
+    key: str,
+    *,
+    cache: Optional[EngineCache] = None,
+    rng: Optional[np.random.Generator] = None,
+    verify: bool = False,
+):
     if verify:
         store.verify(key)
     meta, arrays = store.read_model(key)

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.serve.metrics import percentile
+from repro.obs.stats import LatencySummary
 from repro.serve.requests import RequestHandle, RequestStatus
 from repro.serve.server import InferenceServer
 
@@ -197,15 +197,15 @@ class LoadGenerator:
             else:
                 failed += 1
                 report.failed += 1
-        lat = np.asarray(latencies, dtype=np.float64)
+        summary = LatencySummary.of(latencies)
         return LoadReport(
             n_requests=spec.n_requests,
             wall_s=wall,
             completed=completed,
             rejected=rejected,
             failed=failed,
-            p50_latency_s=percentile(lat, 50),
-            p95_latency_s=percentile(lat, 95),
-            p99_latency_s=percentile(lat, 99),
+            p50_latency_s=summary.p50_s,
+            p95_latency_s=summary.p95_s,
+            p99_latency_s=summary.p99_s,
             tenants=[per_tenant[t] for t in sorted(per_tenant)],
         )

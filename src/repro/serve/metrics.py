@@ -12,6 +12,7 @@ share of its executed batch's :class:`~repro.cim.macro.MacroStats`
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import deque
@@ -21,6 +22,15 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cim.macro import MacroStats
+from repro.obs.stats import LatencySummary, percentile  # noqa: F401  (re-export)
+
+#: MacroStats fields that describe the batch's *shared* critical path —
+#: every request coalesced into a batch experiences the full latency, so
+#: these are carried through :func:`fraction_of_stats` unscaled.  Every
+#: other field is additive activity and scales with the sample share;
+#: a newly added field therefore scales by default and must be listed
+#: here explicitly to opt out (``tests/test_obs.py`` guards the drift).
+SHARED_STAT_FIELDS = frozenset({"latency_ns", "link_latency_ns"})
 
 
 def fraction_of_stats(stats: MacroStats, numerator: int, denominator: int) -> MacroStats:
@@ -30,34 +40,19 @@ def fraction_of_stats(stats: MacroStats, numerator: int, denominator: int) -> Ma
     tenants) coalesced into it, proportionally to their sample counts.
     Count fields become fractional in general; they are accounting
     quantities, and per-tenant sums over a full batch stay exact.
+
+    Fields are enumerated via ``dataclasses.fields(MacroStats)`` so a
+    newly added field cannot be silently dropped: it either scales (the
+    additive default) or sits in :data:`SHARED_STAT_FIELDS`.
     """
     if denominator <= 0:
         raise ValueError(f"denominator must be positive, got {denominator}")
     f = numerator / denominator
-    return MacroStats(
-        cycles=stats.cycles * f,
-        adc_conversions=stats.adc_conversions * f,
-        row_activations=stats.row_activations * f,
-        macs=stats.macs * f,
-        wl_energy_fj=stats.wl_energy_fj * f,
-        bitline_energy_fj=stats.bitline_energy_fj * f,
-        adc_energy_fj=stats.adc_energy_fj * f,
-        peripheral_energy_fj=stats.peripheral_energy_fj * f,
-        latency_ns=stats.latency_ns,  # the batch's critical path is shared
-        link_bits=stats.link_bits * f,
-        link_energy_fj=stats.link_energy_fj * f,
-        link_latency_ns=stats.link_latency_ns,  # shared, like the compute path
-    )
-
-
-def percentile(values: np.ndarray, q: float) -> float:
-    """Nearest-rank percentile (no interpolation): the q-th of N sorted
-    observations is element ``ceil(q/100 * N) - 1``."""
-    if values.size == 0:
-        return 0.0
-    ordered = np.sort(values)
-    rank = max(int(np.ceil(q / 100.0 * ordered.size)) - 1, 0)
-    return float(ordered[rank])
+    scaled = {}
+    for fld in dataclasses.fields(MacroStats):
+        value = getattr(stats, fld.name)
+        scaled[fld.name] = value if fld.name in SHARED_STAT_FIELDS else value * f
+    return MacroStats(**scaled)
 
 
 @dataclass
@@ -92,6 +87,8 @@ class MetricsSnapshot:
     p95_latency_s: float
     p99_latency_s: float
     mean_queued_s: float
+    uptime_s: float = 0.0
+    window_s: float = 0.0
     tenants: List[TenantMetrics] = field(default_factory=list)
 
     @property
@@ -121,6 +118,10 @@ class MetricsSnapshot:
             ("p95_ms", round(self.p95_latency_s * 1e3, 3)),
             ("p99_ms", round(self.p99_latency_s * 1e3, 3)),
             ("mean_queued_ms", round(self.mean_queued_s * 1e3, 3)),
+            # Self-describing: a snapshot read in isolation states the
+            # horizon its rates were computed over.
+            ("uptime_s", round(self.uptime_s, 1)),
+            ("window_s", round(self.window_s, 1)),
         ]
 
     def tenant_rows(self) -> List[Tuple]:
@@ -240,6 +241,7 @@ class ServerMetrics:
             # the first in-window completion: a lone recent completion
             # in a sparse window must not read as hundreds of req/s.
             span = min(self.window_s, max(now - self._born, 1e-9))
+            summary = LatencySummary.of(lat)
             snapshot = MetricsSnapshot(
                 submitted=self.submitted,
                 completed=self.completed,
@@ -251,10 +253,12 @@ class ServerMetrics:
                 batch_size_hist=dict(self._batch_size_hist),
                 throughput_rps=window_requests / span,
                 throughput_sps=window_samples / span,
-                p50_latency_s=percentile(lat, 50),
-                p95_latency_s=percentile(lat, 95),
-                p99_latency_s=percentile(lat, 99),
+                p50_latency_s=summary.p50_s,
+                p95_latency_s=summary.p95_s,
+                p99_latency_s=summary.p99_s,
                 mean_queued_s=float(queued.mean()) if queued.size else 0.0,
+                uptime_s=now - self._born,
+                window_s=self.window_s,
             )
             tenant_completed = dict(self._tenant_completed)
             tenant_rejected = dict(self._tenant_rejected)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import nn
+from repro.obs.log import get_logger
 from repro.runtime import (
     ArtifactStore,
     CompiledModel,
@@ -37,6 +38,9 @@ from repro.runtime import (
     shard as shard_compiled,
 )
 from repro.runtime import snapshot
+
+
+_log = get_logger("serve.registry")
 
 
 class UnknownModelError(KeyError):
@@ -174,6 +178,12 @@ class ModelRegistry:
                 except (snapshot.SnapshotError, OSError):
                     pass  # write-back is best-effort; serving comes first
         compile_ms = (time.perf_counter() - start) * 1000.0
+        _log.debug(
+            "registered %r: %s in %.1f ms",
+            name,
+            "warm-start from artifact" if warm else "cold compile",
+            compile_ms,
+        )
         with self._lock:
             previous = self._entries.get(name)
             if previous is not None and not replace:
@@ -200,9 +210,11 @@ class ModelRegistry:
         there, so a prompt re-registration is cheap."""
         with self._lock:
             try:
-                return self._entries.pop(name)
+                entry = self._entries.pop(name)
             except KeyError:
                 raise UnknownModelError(name) from None
+        _log.debug("evicted %r (generation %d)", name, entry.generation)
+        return entry
 
     def get(self, name: str) -> CompiledModel:
         return self.entry(name).compiled

@@ -30,6 +30,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+from repro.obs import trace
 from repro.serve.requests import InferenceRequest
 
 
@@ -278,6 +279,23 @@ class RequestQueue:
         # Wake another worker: more batches may already be formable.
         if self._depth:
             self._ready.notify()
+        tracer = trace.current()
+        if tracer is not None and batch:
+            # Retroactive, duration-anchored: the coalescing window ran
+            # on the monotonic clock (request.submitted_at), so anchor
+            # its *duration* onto the tracer's perf_counter timeline
+            # ending now — the two clocks share no epoch.
+            window = time.monotonic() - min(r.submitted_at for r in batch)
+            now = time.perf_counter()
+            tracer.record(
+                "coalesce",
+                now - max(window, 0.0),
+                now,
+                "serve",
+                model=batch[0].model,
+                requests=len(batch),
+                samples=sum(r.n_samples for r in batch),
+            )
         return batch
 
     def drain_remaining(self) -> List[InferenceRequest]:

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cim.macro import MacroStats
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.runtime import ExecutionSession
 from repro.serve.metrics import ServerMetrics, MetricsSnapshot, fraction_of_stats
 from repro.serve.registry import ModelRegistry
@@ -42,6 +44,8 @@ from repro.serve.requests import (
     RequestStatus,
 )
 from repro.serve.scheduler import BatchPolicy, RequestQueue
+
+_log = get_logger("serve.server")
 
 
 @dataclass
@@ -122,6 +126,7 @@ class InferenceServer:
             )
             self._workers.append(worker)
             worker.start()
+        _log.debug("server started with %d workers", self._n_workers)
         return self
 
     def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
@@ -161,6 +166,7 @@ class InferenceServer:
         for worker in self._workers:
             worker.join(timeout)
         self._workers = []
+        _log.debug("server stopped (drain=%s)", drain)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -179,6 +185,18 @@ class InferenceServer:
         cap, stopped server) come back as already-completed handles with
         a typed :class:`RequestStatus`.
         """
+        tracer = trace.current()
+        if tracer is None:
+            return self._submit_inner(model, x, tenant)
+        with tracer.span("admit", "serve", model=model, tenant=tenant) as sp:
+            handle = self._submit_inner(model, x, tenant)
+            if handle.request is not None:
+                sp.set("request_id", handle.request.request_id)
+            return handle
+
+    def _submit_inner(
+        self, model: str, x: np.ndarray, tenant: str
+    ) -> RequestHandle:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim < 2 or x.shape[0] < 1:
             raise ValueError(
@@ -309,6 +327,7 @@ class InferenceServer:
             # Evicted between admission and execution.
             self._fail_batch(batch, f"model {model!r} was evicted before execution")
             return
+        tracer = trace.current()
         try:
             inputs = (
                 np.concatenate([request.x for request in batch])
@@ -316,7 +335,9 @@ class InferenceServer:
                 else batch[0].x
             )
             started = time.monotonic()
+            exec_t0 = time.perf_counter() if tracer is not None else 0.0
             outputs, stats = compiled.run(inputs, rng=rng)
+            exec_t1 = time.perf_counter() if tracer is not None else 0.0
         except Exception as error:
             if len(batch) > 1:
                 # Isolate the offender: one malformed request must not
@@ -377,6 +398,32 @@ class InferenceServer:
             )
             with self._state_lock:
                 self.executed_batches.append(record)
+        if tracer is not None:
+            # Queue spans are retroactive, duration-anchored: queued_s
+            # was measured on the monotonic clock (submitted_at), so lay
+            # it out on the tracer's perf_counter timeline ending where
+            # execution began — the two clocks share no epoch.
+            for request, result in zip(batch, results):
+                tracer.record(
+                    f"queued:r{request.request_id}",
+                    exec_t0 - max(result.queued_s, 0.0),
+                    exec_t0,
+                    "serve",
+                    model=model,
+                    tenant=request.tenant,
+                )
+            tracer.record(
+                "execute",
+                exec_t0,
+                exec_t1,
+                "serve",
+                model=model,
+                requests=len(batch),
+                samples=n_samples,
+                batch_seq=batch_seq,
+                chip_total_ns=stats.latency_ns,
+                energy_fj=stats.total_energy_fj,
+            )
         # Observe before completing the handles: a client that wakes on
         # handle.result() and immediately snapshots must see this batch.
         self.metrics.observe_batch(
@@ -386,8 +433,15 @@ class InferenceServer:
             [r.tenant for r in batch],
             now=finished,
         )
-        for request, result in zip(batch, results):
-            self._complete_request(request, result)
+        if tracer is None:
+            for request, result in zip(batch, results):
+                self._complete_request(request, result)
+        else:
+            with tracer.span(
+                "respond", "serve", model=model, requests=len(batch)
+            ):
+                for request, result in zip(batch, results):
+                    self._complete_request(request, result)
 
     def _fail_batch(self, batch: List[InferenceRequest], error: str) -> None:
         # Observe before completing, like the success path: a client
