@@ -1,0 +1,202 @@
+"""Chaos runtime acceptance benchmarks.
+
+Two bars from the chaos issue:
+
+* **Zero-fault overhead** — streaming through the chaos executor with
+  an *inert* controller (a schedule of zero-magnitude faults) must stay
+  within 3% wall clock of the uninstrumented ``run_stream``, and the
+  delivered outputs must be bitwise identical — chaos instrumentation
+  is free when nothing fails.
+* **Recovery availability** — a 64-micro-batch campaign with a single
+  shard death (a few in-flight micro-batches abandoned with the dead
+  chiplet's buffers) must still deliver >= 90% of the requested
+  micro-batches, and every micro-batch admitted *after* the recovery —
+  the post-failover suffix — must be bitwise identical to the clean
+  oracle.
+"""
+
+import time
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.chaos import (
+    ADC_DRIFT,
+    BITLINE_NOISE,
+    ChaosController,
+    FaultEvent,
+    FaultSchedule,
+    LINK_DEGRADE,
+    SHARD_DEATH,
+)
+from repro.experiments.common import format_table
+from repro.runtime import EngineCache, compile_model, shard, stream_rng
+
+HW = 8
+N_SHARDS = 2
+SEED = 0
+REPEATS = 7
+OVERHEAD_BAR = 0.03
+CAMPAIGN_BATCHES = 64
+CAMPAIGN_DROP = 4
+AVAILABILITY_BAR = 0.90
+
+
+def build_model():
+    rng = np.random.default_rng(SEED)
+    return nn.Sequential(
+        nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(6, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(8 * (HW // 2) ** 2, 4, rng=rng),
+    )
+
+
+def build_batches(n, batch=2):
+    return [
+        np.random.default_rng([SEED + 1, i]).normal(size=(batch, 3, HW, HW))
+        for i in range(n)
+    ]
+
+
+def inert_controller():
+    """Every fault kind represented, every event a strict no-op."""
+    return ChaosController(
+        FaultSchedule(
+            seed=SEED,
+            events=(
+                FaultEvent(kind=BITLINE_NOISE, at_index=0, magnitude=0.0),
+                FaultEvent(
+                    kind=ADC_DRIFT, at_index=1, magnitude=0.0, gain_slope=0.0
+                ),
+                FaultEvent(
+                    kind=LINK_DEGRADE,
+                    shard=0,
+                    at_index=2,
+                    latency_factor=1.0,
+                    energy_factor=1.0,
+                ),
+            ),
+        )
+    )
+
+
+def _time_leg(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_overhead(n_batches=24) -> tuple:
+    compiled = compile_model(build_model(), cache=EngineCache())
+    sharded = shard(compiled, N_SHARDS, input_shape=(1, 3, HW, HW))
+    batches = build_batches(n_batches)
+
+    def clean():
+        return sharded.run_stream(batches, seed=SEED)
+
+    def chaotic():
+        return sharded.run_stream(batches, seed=SEED, chaos=inert_controller())
+
+    # Warm both paths, and pin the bitwise witness on the warmup runs.
+    clean_result = clean()
+    chaos_result = chaotic()
+    assert len(chaos_result.outputs) == len(clean_result.outputs)
+    for got, want in zip(chaos_result.outputs, clean_result.outputs):
+        assert np.array_equal(got, want), (
+            "inert chaos stream must be bitwise identical to run_stream"
+        )
+    # Interleave the legs so slow drift on a shared runner hits both
+    # alike; best-of then discards the transient spikes.
+    clean_s = chaos_s = float("inf")
+    for _ in range(REPEATS):
+        clean_s = min(clean_s, _time_leg(clean))
+        chaos_s = min(chaos_s, _time_leg(chaotic))
+    return clean_s, chaos_s
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    return measure_overhead()
+
+
+def test_bench_chaos_report(benchmark, overhead):
+    benchmark(lambda: None)
+    clean_s, chaos_s = overhead
+    rows: List[tuple] = [
+        ("run_stream (clean)", round(clean_s * 1e3, 2), 1.0),
+        (
+            "run_stream (inert chaos)",
+            round(chaos_s * 1e3, 2),
+            round(chaos_s / clean_s, 4),
+        ),
+    ]
+    print()
+    print(format_table(rows, ["path", "ms / stream", "ratio"]))
+
+
+def test_bench_chaos_zero_fault_overhead_under_3pct(benchmark, overhead):
+    """No faults firing: chaos instrumentation costs < 3% end to end."""
+    benchmark(lambda: None)
+    clean_s, chaos_s = overhead
+    ratio = chaos_s / clean_s
+    if ratio > 1.0 + OVERHEAD_BAR:
+        # Wall-clock ratios are load-sensitive on shared runners; give a
+        # transient spike one re-measure before calling it a regression.
+        clean_s, chaos_s = measure_overhead()
+        ratio = chaos_s / clean_s
+    assert ratio <= 1.0 + OVERHEAD_BAR, (
+        f"zero-fault chaos overhead {100 * (ratio - 1):.2f}% exceeds "
+        f"{100 * OVERHEAD_BAR:.0f}% ({chaos_s * 1e3:.2f} ms vs "
+        f"{clean_s * 1e3:.2f} ms per stream)"
+    )
+
+
+def test_bench_chaos_recovery_availability(benchmark):
+    """64 micro-batches, one shard death, drop=4: availability >= 90%
+    and the post-recovery suffix is bitwise identical to the oracle."""
+    benchmark(lambda: None)
+    compiled = compile_model(build_model(), cache=EngineCache())
+    sharded = shard(compiled, N_SHARDS, input_shape=(1, 3, HW, HW))
+    batches = build_batches(CAMPAIGN_BATCHES, batch=1)
+    oracle = [
+        compiled.run(b, rng=stream_rng(SEED, i))[0]
+        for i, b in enumerate(batches)
+    ]
+    schedule = FaultSchedule(
+        seed=SEED,
+        events=(
+            FaultEvent(
+                kind=SHARD_DEATH,
+                shard=1,
+                at_index=20,
+                drop=CAMPAIGN_DROP,
+                label="bench-campaign",
+            ),
+        ),
+    )
+    controller = ChaosController(schedule, input_shape=(1, 3, HW, HW))
+    result = sharded.run_stream(batches, seed=SEED, chaos=controller)
+    assert result.n_requested == CAMPAIGN_BATCHES
+    assert result.availability >= AVAILABILITY_BAR, (
+        f"availability {result.availability:.3f} under a single shard "
+        f"death fell below {AVAILABILITY_BAR:.0%}"
+    )
+    assert len(result.recoveries) == 1
+    recovery = result.recoveries[0]
+    assert len(recovery.dropped) == CAMPAIGN_DROP
+    # The post-recovery suffix — everything not in flight at the fault —
+    # keeps bitwise identity (replays do too; assert the lot).
+    suffix = [
+        i for i in result.delivered_indexes if i not in set(recovery.displaced)
+    ]
+    assert suffix, "campaign must exercise micro-batches beyond the fault"
+    for i, out in result.outputs_by_index.items():
+        assert np.array_equal(out, oracle[i]), (
+            f"delivered micro-batch {i} diverged from the clean oracle"
+        )

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reject wall-clock synchronization in the test suites.
+
+Scans every Python file under ``tests/`` and ``benchmarks/`` for
+``time.sleep`` (and ``sleep(...)`` imported bare from ``time``).  Tests
+that "wait a bit" for a thread or a queue are flake factories: they
+pass on a fast machine and time out under a loaded CI runner.  Every
+blocking wait must go through an event-ordered primitive — the
+``DEADLINE``-bounded helpers in ``tests/helpers.py``
+(``await_results``), a ``threading.Event``/``Condition`` wait, or a
+``join(timeout)`` — which block until the state change actually
+happens instead of guessing how long it takes.
+
+A line may opt out with a trailing ``# hygiene: allow-sleep`` comment
+and a reason; none exist today, and adding one should be rare enough to
+argue in review.
+
+Usage: python scripts/check_test_hygiene.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUITES = ("tests", "benchmarks")
+
+#: ``time.sleep(...)`` or a bare ``sleep(...)`` call (from ``from time
+#: import sleep``); attribute access on other objects does not match.
+SLEEP = re.compile(r"(?<![\w.])(?:time\.)?sleep\s*\(")
+BARE_IMPORT = re.compile(r"^\s*from\s+time\s+import\s+.*\bsleep\b")
+ALLOW = "# hygiene: allow-sleep"
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if ALLOW in line:
+            continue
+        stripped = line.split("#", 1)[0]
+        if SLEEP.search(stripped) or BARE_IMPORT.match(stripped):
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: wall-clock sleep "
+                f"in a test suite — synchronize on an event "
+                f"(tests/helpers.py DEADLINE idioms) instead"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = []
+    checked = 0
+    for suite in SUITES:
+        for path in sorted((REPO_ROOT / suite).rglob("*.py")):
+            checked += 1
+            problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {checked} test files: no wall-clock sleeps")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

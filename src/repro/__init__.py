@@ -19,6 +19,9 @@ Top-level subpackages
 ``repro.serve``
     Multi-tenant dynamic-batching inference serving: model registry,
     fair micro-batching scheduler, worker pool, metrics, load generator.
+``repro.chaos``
+    Deterministic fault injection: replayable fault schedules, degraded
+    analog execution, shard failover for streams and the server.
 ``repro.arch``
     System-level area/latency/energy simulator (Figs. 12-14).
 ``repro.rebranch``
@@ -31,7 +34,7 @@ Top-level subpackages
     One runner per paper table/figure.
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "nn",
@@ -40,6 +43,7 @@ __all__ = [
     "cim",
     "runtime",
     "serve",
+    "chaos",
     "arch",
     "rebranch",
     "datasets",

@@ -1,0 +1,421 @@
+"""The injection layer: live degradation and fault firing decisions.
+
+Two halves:
+
+* :class:`Degradation` + :func:`degraded_execution` — route a run's
+  engines through the **existing** analog paths with temporarily
+  degraded circuit parameters: the bit-line comparator noise of
+  :meth:`repro.cim.bitline.BitlineModel.observe` and the count-domain
+  ADC offset/gain error model shared with
+  :func:`repro.cim.variation.perturbed_matmul` (via
+  :func:`repro.cim.variation.apply_adc_errors`).  Degraded execution
+  always takes the reference macro path — the exact LUT kernel is a
+  noise-free fast path by construction — which is bitwise identical to
+  the kernel when no degradation is active, so zero-magnitude faults
+  cannot change a single output bit.
+* :class:`ChaosController` — owns a normalized
+  :class:`~repro.chaos.schedule.FaultSchedule` and answers the hot-path
+  questions (*is this shard dead yet? what degradation window is open
+  at this micro-batch? how slow is this link right now?*) in O(events)
+  per micro-batch with no RNG of its own: all noise draws come from the
+  micro-batch's ``stream_rng``, so firing and effects replay exactly.
+
+Thread-safety: engines are shared across shard workers through the
+engine cache, and a degraded execution temporarily mutates the engine's
+``run_config`` (the one object every tile's macro references).  All
+degraded executions therefore serialize on a module-global lock; clean
+executions never touch it.  Degraded windows are rare by construction
+(faults), so the serialization does not gate steady-state throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.chaos.schedule import (
+    ADC_DRIFT,
+    BITLINE_NOISE,
+    DEGRADATION_KINDS,
+    LINK_DEGRADE,
+    SHARD_DEATH,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.cim.variation import apply_adc_errors
+from repro.quant.quantizer import QuantSpec, quantize
+
+#: Serializes every degraded execution: the degraded parameters live on
+#: the engine's shared ``run_config`` for the duration of one matmul.
+_DEGRADE_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """The combined analog degradation active for one engine execution.
+
+    ``noise_sigma_counts`` adds to the bit line's own sigma in
+    quadrature (independent noise sources); ``adc_offset`` /
+    ``adc_gain`` apply at the count level before rail-clipping, exactly
+    like the static Monte-Carlo's per-die errors.
+    """
+
+    noise_sigma_counts: float = 0.0
+    adc_offset: float = 0.0
+    adc_gain: float = 1.0
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.noise_sigma_counts == 0.0
+            and self.adc_offset == 0.0
+            and self.adc_gain == 1.0
+        )
+
+    def wrap(self, engine: Any) -> Any:
+        """The seam :class:`repro.runtime.compiled._RunState` calls.
+
+        Returns ``engine`` untouched for a no-op degradation (the clean
+        kernel path, bitwise identical to an undegraded run); otherwise
+        a proxy that executes through the degraded macro path.
+        """
+        if self.is_noop:
+            return engine
+        if hasattr(engine, "execute_patches"):
+            return _DegradedConv(engine, self)
+        return _DegradedLinear(engine, self)
+
+
+class _DriftedAdc:
+    """An ADC spec whose conversions see a count offset and gain error.
+
+    Wraps the engine's real :class:`~repro.cim.adc.AdcSpec`; every
+    attribute (resolution, energy, area) delegates to it, and only
+    ``quantize_counts`` differs: the observed counts are passed through
+    :func:`repro.cim.variation.apply_adc_errors` first — the same
+    gain → offset → rail-clip pipeline the static variation study uses.
+    """
+
+    def __init__(self, adc: Any, offset: float, gain: float):
+        self._adc = adc
+        self._offset = offset
+        self._gain = gain
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._adc, name)
+
+    def quantize_counts(self, counts: np.ndarray, max_counts: float) -> np.ndarray:
+        counts = apply_adc_errors(
+            counts,
+            gain=self._gain,
+            offset=self._offset,
+            max_counts=float(max_counts),
+        )
+        return self._adc.quantize_counts(counts, max_counts)
+
+
+@contextmanager
+def degraded_execution(run_config: Any, degradation: Degradation):
+    """Temporarily degrade an engine's shared run configuration.
+
+    Swaps the config's ADC for a :class:`_DriftedAdc` and raises the
+    bit-line noise sigma (in quadrature) for the duration of one
+    execution, under the global degrade lock — every tile macro of the
+    engine references this one config object, so the swap reaches all
+    of them, and the lock keeps concurrent clean runs on other threads
+    from ever observing the degraded parameters mid-matmul.
+    """
+    from dataclasses import replace
+
+    with _DEGRADE_LOCK:
+        saved_adc = run_config.adc
+        saved_bitline = run_config.bitline
+        run_config.adc = _DriftedAdc(
+            saved_adc, degradation.adc_offset, degradation.adc_gain
+        )
+        if degradation.noise_sigma_counts > 0.0:
+            run_config.bitline = replace(
+                saved_bitline,
+                noise_sigma_counts=float(
+                    np.hypot(
+                        saved_bitline.noise_sigma_counts,
+                        degradation.noise_sigma_counts,
+                    )
+                ),
+            )
+        try:
+            yield
+        finally:
+            run_config.adc = saved_adc
+            run_config.bitline = saved_bitline
+
+
+class _DegradedLinear:
+    """``ProgrammedLinear.execute`` routed through the degraded macro path.
+
+    Replicates the engine's execute pipeline (activation quantization,
+    scale recombination) bit for bit, but always runs the tiled macro
+    reference — never the exact kernel — inside a
+    :func:`degraded_execution` window, so the bit-line observation and
+    ADC conversion see the degraded circuit.
+    """
+
+    __slots__ = ("_engine", "_degradation")
+
+    def __init__(self, engine: Any, degradation: Degradation):
+        self._engine = engine
+        self._degradation = degradation
+
+    def execute(self, x, rng=None, encoding=None):
+        engine = self._engine
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != engine.in_features:
+            raise ValueError(
+                f"expected input (N, {engine.in_features}), got {x.shape}"
+            )
+        if not engine.signed_inputs and x.size and bool((x < 0).any()):
+            raise ValueError(
+                "engine is programmed for unsigned activations but the "
+                "input carries negative values; program a signed-input "
+                "engine for this layer"
+            )
+        act_spec = QuantSpec(bits=engine.activation_bits, signed=engine.signed_inputs)
+        x_codes, x_scale = quantize(x, act_spec)
+        rng = rng if rng is not None else np.random.default_rng()
+        with degraded_execution(engine.run_config, self._degradation):
+            y_codes, stats = engine.engine.matmul(
+                x_codes.T, encoding=encoding, rng=rng
+            )
+        scale = float(x_scale) * engine.w_scale.reshape(-1, 1)
+        return (y_codes * scale).T, stats
+
+
+class _DegradedConv:
+    """``ProgrammedConv.execute_patches`` over a degraded linear core."""
+
+    __slots__ = ("_engine", "_linear")
+
+    def __init__(self, engine: Any, degradation: Degradation):
+        self._engine = engine
+        self._linear = _DegradedLinear(engine.linear, degradation)
+
+    def execute_patches(self, patches, n_samples, out_hw, rng=None, encoding=None):
+        out_h, out_w = out_hw
+        flat, stats = self._linear.execute(patches, rng=rng, encoding=encoding)
+        oc = self._engine.out_channels
+        out = flat.reshape(n_samples, out_h * out_w, oc).transpose(0, 2, 1)
+        return out.reshape(n_samples, oc, out_h, out_w), stats
+
+
+class ChaosController:
+    """Deterministic firing engine for one chaos campaign.
+
+    Built once per campaign from a :class:`FaultSchedule`; threaded
+    through :func:`repro.chaos.stream.run_chaos_stream` and
+    :class:`repro.serve.InferenceServer`.  No-op events (zero-magnitude
+    degradations, unit-factor link windows) are filtered at
+    construction, so a zero-magnitude schedule leaves the controller
+    *inert*: every hot-path query answers "no fault" and the
+    instrumented run is bitwise identical to a clean one.
+
+    ``store`` + ``artifact_key_fn(n_shards)`` enable warm failover
+    restores from the ``.rcma`` artifact store; ``input_shape`` feeds
+    the failover re-plan's MAC balancing; ``recovery_hook(record)`` is
+    a test seam invoked after each completed failover, before displaced
+    work is replayed or requeued.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        *,
+        store: Any = None,
+        artifact_key_fn: Optional[Callable[[int], str]] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+        recovery_hook: Optional[Callable[[Any], None]] = None,
+    ):
+        self.schedule = schedule.normalized()
+        self.store = store
+        self.artifact_key_fn = artifact_key_fn
+        self.input_shape = input_shape
+        self.recovery_hook = recovery_hook
+        # Positions index into the normalized schedule; duplicate events
+        # stay distinct (each fires independently).
+        active = tuple(
+            (pos, e)
+            for pos, e in enumerate(self.schedule.events)
+            if not e.is_noop
+        )
+        self._deaths: Tuple[Tuple[int, FaultEvent], ...] = tuple(
+            (pos, e) for pos, e in active if e.kind == SHARD_DEATH
+        )
+        self._degradations: Tuple[Tuple[int, FaultEvent], ...] = tuple(
+            (pos, e) for pos, e in active if e.kind in DEGRADATION_KINDS
+        )
+        self._links: Tuple[Tuple[int, FaultEvent], ...] = tuple(
+            (pos, e) for pos, e in active if e.kind == LINK_DEGRADE
+        )
+        self._lock = threading.Lock()
+        #: (event position, shard key) -> index the window opened at
+        #: (memo for chip-time-fired windows; index-fired windows need none).
+        self._opened_at: Dict[Tuple[int, Optional[int]], int] = {}
+        #: event position -> (shard, index) a death fired at.
+        self._death_fired: Dict[int, Tuple[Optional[int], int]] = {}
+        self.recoveries: List[Any] = []
+
+    @property
+    def is_inert(self) -> bool:
+        return not (self._deaths or self._degradations or self._links)
+
+    @property
+    def has_deaths(self) -> bool:
+        return bool(self._deaths)
+
+    # -- window bookkeeping --------------------------------------------
+    def _window_start(
+        self,
+        pos: int,
+        event: FaultEvent,
+        shard: Optional[int],
+        index: int,
+        chip_ns: float,
+    ) -> Optional[int]:
+        """Index the event's window opened at for this shard, or None.
+
+        Index-fired windows open at ``at_index`` unconditionally.
+        Chip-time windows open at the first micro-batch whose
+        pre-execution cumulative shard chip time reaches ``at_chip_ns``
+        — memoized per (event, shard) so the window start is stable for
+        the rest of the run.  Shards consume micro-batches in index
+        order, so the memo is deterministic.
+        """
+        if event.at_index is not None:
+            return event.at_index if index >= event.at_index else None
+        key = (pos, shard)
+        start = self._opened_at.get(key)
+        if start is not None:
+            return start
+        if chip_ns >= event.at_chip_ns:
+            with self._lock:
+                start = self._opened_at.setdefault(key, index)
+            return start
+        return None
+
+    @staticmethod
+    def _targets(event: FaultEvent, shard: Optional[int]) -> bool:
+        """Does the event apply at this shard key?
+
+        ``shard=None`` is the server-side query (the whole model runs
+        as one unit): every degradation matches.  In the stream, an
+        event with ``shard=None`` degrades every shard.
+        """
+        return shard is None or event.shard is None or event.shard == shard
+
+    # -- hot-path queries ----------------------------------------------
+    def check_shard_death(
+        self, shard: Optional[int], index: int, chip_ns: float
+    ) -> Optional[FaultEvent]:
+        """First unfired death due at this point, marking it fired.
+
+        In the stream each shard asks for itself (``shard=s`` in the
+        current topology; events naming a shard outside it are held
+        until a topology where they fit).  The server asks with
+        ``shard=None``: any pending death fires, and the event's shard
+        names the casualty for the re-plan.
+        """
+        if not self._deaths:
+            return None
+        for pos, event in self._deaths:
+            if shard is not None and event.shard != shard:
+                continue
+            due = (
+                index >= event.at_index
+                if event.at_index is not None
+                else chip_ns >= event.at_chip_ns
+            )
+            if not due:
+                continue
+            with self._lock:
+                if pos in self._death_fired:
+                    continue
+                self._death_fired[pos] = (shard, index)
+            return event
+        return None
+
+    def degradation_at(
+        self, index: int, chip_ns: float = 0.0, shard: Optional[int] = None
+    ) -> Optional[Degradation]:
+        """Combined analog degradation open at this micro-batch.
+
+        Drift offsets add, gains compound, noise sigmas combine in
+        quadrature across overlapping windows.  Drift ramps scale with
+        window *age* (micro-batches since the window opened, starting
+        at 1), the live analogue of a slowly drifting ADC corner.
+        """
+        if not self._degradations:
+            return None
+        offset = 0.0
+        gain = 1.0
+        var = 0.0
+        for pos, event in self._degradations:
+            if not self._targets(event, shard):
+                continue
+            start = self._window_start(pos, event, shard, index, chip_ns)
+            if start is None:
+                continue
+            if event.duration is not None and index >= start + event.duration:
+                continue
+            age = index - start + 1
+            if event.kind == ADC_DRIFT:
+                offset += event.magnitude * age
+                gain *= 1.0 + event.gain_slope * age
+            else:  # BITLINE_NOISE
+                var += event.magnitude**2
+        if offset == 0.0 and gain == 1.0 and var == 0.0:
+            return None
+        return Degradation(
+            noise_sigma_counts=float(np.sqrt(var)), adc_offset=offset, adc_gain=gain
+        )
+
+    def link_factors(
+        self, shard: int, index: int, chip_ns: float = 0.0
+    ) -> Tuple[float, float]:
+        """(latency, energy) multipliers on the link leaving ``shard``."""
+        if not self._links:
+            return (1.0, 1.0)
+        latency = 1.0
+        energy = 1.0
+        for pos, event in self._links:
+            if event.shard != shard:
+                continue
+            start = self._window_start(pos, event, shard, index, chip_ns)
+            if start is None:
+                continue
+            if event.duration is not None and index >= start + event.duration:
+                continue
+            latency *= event.latency_factor
+            energy *= event.energy_factor
+        return (latency, energy)
+
+    # -- trace ----------------------------------------------------------
+    def fired_records(self) -> List[Dict[str, Any]]:
+        """Deterministically ordered record of every fired death.
+
+        Sorted by (index, event position) — independent of thread
+        interleaving, so it belongs in the deterministic trace digest.
+        """
+        with self._lock:
+            records = [
+                {
+                    "event": self.schedule.events[pos].to_meta(),
+                    "shard": shard,
+                    "index": index,
+                }
+                for pos, (shard, index) in self._death_fired.items()
+            ]
+        records.sort(key=lambda r: (r["index"], r["event"].get("at_index", -1)))
+        return records

@@ -1,0 +1,540 @@
+"""Chaos-instrumented pipelined stream execution with shard failover.
+
+:func:`run_chaos_stream` is the fault-tolerant twin of
+:meth:`repro.runtime.ShardedModel.run_stream`: the same
+worker-per-shard pipeline over bounded queues, with three additions
+driven by a :class:`~repro.chaos.inject.ChaosController`:
+
+* **Degraded-mode execution** — before a shard executes a micro-batch
+  it asks the controller for the open degradation window; engines then
+  route through the live analog fault paths (see
+  :mod:`repro.chaos.inject`).  Link-degradation windows scale the
+  simulated transfer latency/energy of the hop leaving the shard.
+* **Shard death + failover** — a fired death diverts that micro-batch
+  and everything behind it into a displaced list (micro-batches already
+  past the dead shard complete normally).  The coordinator then
+  re-plans the DAG around the dead shard (``plan_shards`` over the
+  surviving count, the same single-edge-frontier legality), restores
+  the engines — warm from the ``.rcma`` artifact store when the
+  controller carries one, else the in-memory engines — and replays the
+  displaced micro-batches through the recovered pipeline, resuming each
+  at the exact plan node where it was displaced.
+* **Exactly-once accounting** — every requested micro-batch index ends
+  the campaign either *delivered* (exactly one output) or *dropped*
+  (recorded, counted against availability); a replayed micro-batch is
+  never re-executed over nodes it already completed.
+
+Determinism: firing points are micro-batch indexes or simulated chip
+time, each micro-batch owns its ``stream_rng``, and every displaced
+micro-batch resumes with its own carried RNG state — so outputs *and*
+recovery traces replay exactly across processes
+(:meth:`ChaosStreamResult.deterministic_trace`).  Wall-clock recovery
+times are measured and reported but excluded from the trace digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.inject import ChaosController
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.cim.macro import MacroStats
+from repro.obs import trace
+from repro.runtime.compiled import _USE_DEFAULT, _RunState
+from repro.runtime.sharded import ShardedModel, StreamResult, shard, stream_rng
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed failover: what died, what it cost, what survived."""
+
+    events: Tuple[FaultEvent, ...]
+    dead_shards: Tuple[int, ...]
+    n_shards_before: int
+    n_shards_after: int
+    displaced: Tuple[int, ...]
+    dropped: Tuple[int, ...]
+    replayed: Tuple[int, ...]
+    #: plan node each replayed micro-batch resumed at (aligned with
+    #: ``replayed``).
+    resume_nodes: Tuple[int, ...]
+    warm_restored: bool
+    #: wall-clock seconds: total recovery, re-plan, engine restore.
+    #: Measured, reported, and *excluded* from the deterministic trace.
+    wall_s: float = 0.0
+    replan_s: float = 0.0
+    restore_s: float = 0.0
+
+    def structural_meta(self) -> Dict[str, Any]:
+        """The deterministic (wall-time-free) projection of the record."""
+        return {
+            "events": [event.to_meta() for event in self.events],
+            "dead_shards": list(self.dead_shards),
+            "n_shards_before": self.n_shards_before,
+            "n_shards_after": self.n_shards_after,
+            "displaced": list(self.displaced),
+            "dropped": list(self.dropped),
+            "replayed": list(self.replayed),
+            "resume_nodes": list(self.resume_nodes),
+            "warm_restored": self.warm_restored,
+        }
+
+
+@dataclass
+class ChaosStreamResult(StreamResult):
+    """A :class:`StreamResult` plus the campaign's fault/recovery story.
+
+    ``outputs`` / ``per_batch`` / ``compute_ns`` / ``link_ns`` cover the
+    *delivered* micro-batches, sorted by index (``delivered_indexes``
+    maps row → original index).  ``compute_ns`` columns are sized to the
+    starting topology; replayed micro-batches charge the stages they
+    re-ran in the recovered topology, so post-failover makespans are
+    approximate (documented in docs/chaos.md).
+    """
+
+    schedule: Optional[FaultSchedule] = None
+    fired: List[Dict[str, Any]] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+    delivered_indexes: Tuple[int, ...] = ()
+    dropped_indexes: Tuple[int, ...] = ()
+    n_requested: int = 0
+
+    @property
+    def n_delivered(self) -> int:
+        return len(self.delivered_indexes)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requested micro-batches delivered."""
+        if not self.n_requested:
+            return 1.0
+        return self.n_delivered / self.n_requested
+
+    @property
+    def outputs_by_index(self) -> Dict[int, np.ndarray]:
+        return dict(zip(self.delivered_indexes, self.outputs))
+
+    def deterministic_trace(self) -> Dict[str, Any]:
+        """JSON-serializable digest pinned across processes.
+
+        Covers the schedule, every fired fault, every recovery's
+        structural fields, the delivered/dropped index sets, and a
+        SHA-256 over each delivered output's exact bytes.  Two runs of
+        the same ``(seed, schedule, model, batches)`` produce equal
+        digests regardless of host, thread interleaving, or wall-clock
+        behaviour.
+        """
+        return {
+            "schedule": self.schedule.to_meta() if self.schedule else None,
+            "fired": self.fired,
+            "recoveries": [r.structural_meta() for r in self.recoveries],
+            "delivered": list(self.delivered_indexes),
+            "dropped": list(self.dropped_indexes),
+            "output_sha256": {
+                int(i): hashlib.sha256(
+                    np.ascontiguousarray(out).tobytes()
+                ).hexdigest()
+                for i, out in zip(self.delivered_indexes, self.outputs)
+            },
+        }
+
+
+class _ChaosItem:
+    __slots__ = ("index", "x", "state", "start_node", "compute_ns", "link_ns")
+
+    def __init__(
+        self, index: int, x: np.ndarray, state: _RunState, n_shards: int
+    ):
+        self.index = index
+        self.x = x
+        self.state = state
+        self.start_node = 0  # plan node execution resumes at (0 = from input)
+        self.compute_ns = np.zeros(n_shards)
+        self.link_ns = np.zeros(max(n_shards - 1, 0))
+
+
+class _AttemptOutcome:
+    """What one pipelined attempt produced."""
+
+    __slots__ = ("completed", "displaced", "deaths")
+
+    def __init__(self):
+        self.completed: List[_ChaosItem] = []
+        #: dead shard -> items displaced there (in arrival = index order).
+        self.displaced: Dict[int, List[_ChaosItem]] = {}
+        #: (event, shard, fired index) in deterministic (index, shard) order.
+        self.deaths: List[Tuple[FaultEvent, int, int]] = []
+
+
+def _stage_start_node(sharded: ShardedModel, s: int) -> int:
+    """First plan node stage ``s`` executes (next node after the
+    previous stage for an empty stage)."""
+    indices = sharded._stages[s]
+    if indices:
+        return indices[0]
+    return sharded._stages[s - 1][-1] + 1 if s else 0
+
+
+def _run_attempt(
+    sharded: ShardedModel,
+    items: Sequence[_ChaosItem],
+    controller: ChaosController,
+    tracer,
+    queue_depth: int,
+) -> _AttemptOutcome:
+    """One pipelined pass; stops feeding dead shards, never loses items.
+
+    A shard whose death fires diverts the triggering micro-batch and
+    every later arrival to the displaced list and keeps draining its
+    inbox (so upstream shards never block on a full queue into a dead
+    stage), forwarding only the end-of-stream sentinel.  Micro-batches
+    already past the dead shard finish normally.
+    """
+    n_shards = sharded.n_shards
+    last = n_shards - 1
+    queues: List["queue.Queue"] = [
+        queue.Queue(maxsize=queue_depth) for _ in range(n_shards + 1)
+    ]
+    errors: List[BaseException] = []
+    outcome = _AttemptOutcome()
+    outcome_lock = threading.Lock()
+
+    def worker(s: int) -> None:
+        inbox, outbox = queues[s], queues[s + 1]
+        dead: Optional[List[_ChaosItem]] = None
+        cum_chip = 0.0
+        while True:
+            item = inbox.get()
+            if item is None:
+                outbox.put(None)
+                return
+            if errors:
+                continue  # drain the pipe; the attempt already failed
+            if dead is not None:
+                item.start_node = max(
+                    item.start_node, _stage_start_node(sharded, s)
+                )
+                dead.append(item)
+                continue
+            try:
+                stage = sharded._stages[s]
+                resumes_past_stage = bool(stage) and item.start_node > stage[-1]
+                if not resumes_past_stage:
+                    event = controller.check_shard_death(
+                        shard=s, index=item.index, chip_ns=cum_chip
+                    )
+                    if event is not None:
+                        with outcome_lock:
+                            dead = outcome.displaced.setdefault(s, [])
+                            outcome.deaths.append((event, s, item.index))
+                        if tracer is not None:
+                            with tracer.span(
+                                f"fault:{event.kind}",
+                                "chaos",
+                                shard=s,
+                                microbatch=item.index,
+                            ):
+                                pass
+                        item.start_node = max(
+                            item.start_node, _stage_start_node(sharded, s)
+                        )
+                        dead.append(item)
+                        continue
+                executed = False
+                if not resumes_past_stage:
+                    degrade = controller.degradation_at(
+                        item.index, chip_ns=cum_chip, shard=s
+                    )
+                    item.state.degrade = degrade
+                    before = item.state.stats.latency_ns
+                    if tracer is None:
+                        item.x = _execute_stage(sharded, s, item)
+                    else:
+                        with tracer.span(
+                            f"shard{s}:mb{item.index}",
+                            "shard",
+                            shard=s,
+                            microbatch=item.index,
+                            degraded=degrade is not None,
+                        ) as sp:
+                            item.x = _execute_stage(sharded, s, item)
+                            sp.set(
+                                "chip_ns",
+                                item.state.stats.latency_ns - before,
+                            )
+                    item.state.degrade = None
+                    delta = item.state.stats.latency_ns - before
+                    cum_chip += delta
+                    item.compute_ns[s] += delta
+                    executed = True
+                if executed and s < last:
+                    transfer = sharded._transfer_stats(item.x)
+                    latency_f, energy_f = controller.link_factors(
+                        s, item.index, cum_chip
+                    )
+                    if latency_f != 1.0 or energy_f != 1.0:
+                        transfer = replace(
+                            transfer,
+                            link_energy_fj=transfer.link_energy_fj * energy_f,
+                            link_latency_ns=transfer.link_latency_ns
+                            * latency_f,
+                        )
+                    item.state.stats = item.state.stats + transfer
+                    item.link_ns[s] += transfer.link_latency_ns
+                    if tracer is not None:
+                        with tracer.span(
+                            f"link{s}:mb{item.index}",
+                            "link",
+                            shard=s,
+                            microbatch=item.index,
+                            chip_ns=transfer.link_latency_ns,
+                            link_bits=transfer.link_bits,
+                        ):
+                            pass
+            except BaseException as error:  # noqa: BLE001 - re-raised by caller
+                errors.append(error)
+                continue
+            outbox.put(item)
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(s,), name=f"chaos-shard-{s}", daemon=True
+        )
+        for s in range(n_shards)
+    ]
+    for thread in threads:
+        thread.start()
+
+    def collect() -> None:
+        while True:
+            item = queues[n_shards].get()
+            if item is None:
+                return
+            outcome.completed.append(item)
+
+    collector = threading.Thread(
+        target=collect, name="chaos-collect", daemon=True
+    )
+    collector.start()
+    try:
+        for item in items:
+            queues[0].put(item)
+        queues[0].put(None)
+    finally:
+        # The sentinel propagates through every worker (dead ones still
+        # forward it), so these joins cannot orphan a shard thread.
+        collector.join()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+    outcome.deaths.sort(key=lambda d: (d[2], d[1]))
+    return outcome
+
+
+def _execute_stage(sharded: ShardedModel, s: int, item: _ChaosItem) -> np.ndarray:
+    """Run stage ``s`` on the item, honouring its replay resume point.
+
+    A replayed item whose resume node falls inside this stage binds its
+    carried tensor to node ``start_node - 1`` (``_run_stage_from``);
+    stages entirely past the resume point run normally — by then the
+    item's tensor is an ordinary inter-stage value again.
+    """
+    stage = sharded._stages[s]
+    if item.start_node > 0 and stage and item.start_node >= stage[0]:
+        return sharded._run_stage_from(s, item.x, item.state, item.start_node)
+    return sharded._run_stage(s, item.x, item.state)
+
+
+def _failover(
+    current: ShardedModel,
+    controller: ChaosController,
+    outcome: _AttemptOutcome,
+) -> Tuple[Optional[ShardedModel], RecoveryRecord, List[_ChaosItem]]:
+    """Re-plan around the dead shard(s) and stage the replay.
+
+    Returns ``(recovered model or None, recovery record, items to
+    replay)``.  ``None`` means the fleet is unrecoverable (no shard
+    left); every displaced micro-batch is then dropped.
+    """
+    t_start = time.perf_counter()
+    dead_shards = tuple(sorted(outcome.displaced))
+    events = tuple(event for event, _, _ in outcome.deaths)
+    n_before = current.n_shards
+    n_after = n_before - len(dead_shards)
+
+    displaced: List[_ChaosItem] = []
+    for s in dead_shards:
+        displaced.extend(outcome.displaced[s])
+    displaced.sort(key=lambda item: item.index)
+
+    # Each death event abandons its first `drop` displaced micro-batches
+    # (simulating in-flight state lost with the chiplet's buffers).
+    n_drop = min(sum(e.drop for e in events), len(displaced))
+    dropped = displaced[:n_drop]
+    replay = displaced[n_drop:]
+
+    recovered: Optional[ShardedModel] = None
+    warm = False
+    replan_s = 0.0
+    restore_s = 0.0
+    if n_after >= 1:
+        if controller.store is not None and controller.artifact_key_fn is not None:
+            from repro.runtime import snapshot
+
+            t0 = time.perf_counter()
+            try:
+                key = controller.artifact_key_fn(n_after)
+                restored = snapshot.load(controller.store, key)
+                if isinstance(restored, ShardedModel) and restored.n_shards == n_after:
+                    recovered = restored
+                    warm = True
+            except snapshot.SnapshotError:
+                recovered = None  # cold re-plan below
+            restore_s = time.perf_counter() - t0
+        if recovered is None:
+            t0 = time.perf_counter()
+            recovered = shard(
+                current.compiled,
+                n_after,
+                link=current.link,
+                input_shape=controller.input_shape,
+            )
+            replan_s = time.perf_counter() - t0
+    else:
+        dropped = displaced
+        replay = []
+
+    record = RecoveryRecord(
+        events=events,
+        dead_shards=dead_shards,
+        n_shards_before=n_before,
+        n_shards_after=max(n_after, 0),
+        displaced=tuple(item.index for item in displaced),
+        dropped=tuple(item.index for item in dropped),
+        replayed=tuple(item.index for item in replay),
+        resume_nodes=tuple(item.start_node for item in replay),
+        warm_restored=warm,
+        wall_s=time.perf_counter() - t_start,
+        replan_s=replan_s,
+        restore_s=restore_s,
+    )
+    return recovered, record, replay
+
+
+def run_chaos_stream(
+    model: ShardedModel,
+    batches: Sequence[np.ndarray],
+    controller: ChaosController,
+    *,
+    seed: int = 0,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    encoding: Any = _USE_DEFAULT,
+    session: Any = None,
+    queue_depth: int = 2,
+) -> ChaosStreamResult:
+    """Pipelined stream execution under a fault schedule.
+
+    The entry point behind ``ShardedModel.run_stream(..., chaos=...)``.
+    With an inert controller (no events, or all zero-magnitude) the
+    delivered outputs and stats are bitwise identical to the clean
+    ``run_stream`` — the differential witness every chaos test builds
+    on.
+    """
+    if queue_depth < 1:
+        raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+    if rngs is not None and len(rngs) != len(batches):
+        raise ValueError(f"{len(rngs)} rngs for {len(batches)} micro-batches")
+    n_initial = model.n_shards
+    resolved_encoding = (
+        model.compiled.config.encoding if encoding is _USE_DEFAULT else encoding
+    )
+    items: List[_ChaosItem] = []
+    for i, batch in enumerate(batches):
+        rng = rngs[i] if rngs is not None else stream_rng(seed, i)
+        items.append(
+            _ChaosItem(
+                i,
+                np.asarray(batch, dtype=np.float64),
+                _RunState(rng=rng, encoding=resolved_encoding),
+                n_initial,
+            )
+        )
+
+    tracer = trace.current()
+    started = time.perf_counter()
+    current = model
+    pending: List[_ChaosItem] = items
+    delivered: Dict[int, _ChaosItem] = {}
+    dropped: List[int] = []
+    recoveries: List[RecoveryRecord] = []
+
+    while pending:
+        outcome = _run_attempt(current, pending, controller, tracer, queue_depth)
+        for item in outcome.completed:
+            if item.index in delivered:
+                raise RuntimeError(
+                    f"micro-batch {item.index} delivered twice — "
+                    "exactly-once accounting broken"
+                )
+            delivered[item.index] = item
+        if not outcome.deaths:
+            break
+        recovered, record, replay = _failover(current, controller, outcome)
+        recoveries.append(record)
+        controller.recoveries.append(record)
+        dropped.extend(record.dropped)
+        if tracer is not None:
+            with tracer.span(
+                "chaos:recovery",
+                "chaos",
+                dead_shards=",".join(map(str, record.dead_shards)),
+                n_shards_after=record.n_shards_after,
+                replayed=len(record.replayed),
+                dropped=len(record.dropped),
+                warm_restored=record.warm_restored,
+            ):
+                pass
+        if controller.recovery_hook is not None:
+            controller.recovery_hook(record)
+        if recovered is None:
+            break
+        current = recovered
+        pending = replay
+
+    wall_s = time.perf_counter() - started
+    done = sorted(delivered.values(), key=lambda item: item.index)
+    total = MacroStats()
+    per_batch: List[MacroStats] = []
+    for item in done:
+        per_batch.append(item.state.stats)
+        total = total + item.state.stats
+        if session is not None:
+            samples = item.x.shape[0] if item.x.ndim else 1
+            session.record(item.state.stats, samples=samples)
+    return ChaosStreamResult(
+        outputs=[item.x for item in done],
+        per_batch=per_batch,
+        stats=total,
+        compute_ns=np.stack([item.compute_ns for item in done])
+        if done
+        else np.zeros((0, n_initial)),
+        link_ns=np.stack([item.link_ns for item in done])
+        if done
+        else np.zeros((0, max(n_initial - 1, 0))),
+        wall_s=wall_s,
+        n_shards=n_initial,
+        schedule=controller.schedule,
+        fired=controller.fired_records(),
+        recoveries=recoveries,
+        delivered_indexes=tuple(item.index for item in done),
+        dropped_indexes=tuple(sorted(dropped)),
+        n_requested=len(items),
+    )

@@ -52,6 +52,26 @@ class VariationModel:
         )
 
 
+def apply_adc_errors(
+    counts: np.ndarray,
+    *,
+    gain,
+    offset,
+    max_counts: float,
+) -> np.ndarray:
+    """Apply ADC gain/offset errors at the count level, then rail-clip.
+
+    The canonical count-domain error model shared by the static
+    Monte-Carlo (:func:`perturbed_matmul`) and the live ADC-drift path
+    of the chaos runtime: counts are scaled by ``gain``, shifted by
+    ``offset``, and clipped to the physical rail ``[0, max_counts]``
+    before quantization — a discharge count can never be negative nor
+    exceed the rows participating in the pass.
+    """
+    counts = counts * gain + offset
+    return np.clip(counts, 0.0, max_counts)
+
+
 def perturbed_matmul(
     macro: CimMacro,
     x: np.ndarray,
@@ -87,15 +107,17 @@ def perturbed_matmul(
 
     counts = np.einsum("jrn,krc->jkcn", in_planes, weight_planes, optimize=True)
 
+    gain = 1.0
     if variation.adc_gain_sigma > 0:
         gain = 1.0 + rng.normal(
             0.0, variation.adc_gain_sigma, (counts.shape[2], 1)
         )
-        counts = counts * gain
+    offset = 0.0
     if variation.adc_offset_sigma > 0:
         offset = rng.normal(0.0, variation.adc_offset_sigma, (counts.shape[2], 1))
-        counts = counts + offset
-    counts = np.clip(counts, 0.0, macro.rows_used)
+    counts = apply_adc_errors(
+        counts, gain=gain, offset=offset, max_counts=float(macro.rows_used)
+    )
 
     quantized = cfg.adc.quantize_counts(counts, float(macro.rows_used))
     result = np.einsum(

@@ -401,6 +401,29 @@ def collect_server(
     for size, count in sorted(snap.batch_size_hist.items()):
         sizes.observe(float(size), count=count)
 
+    faults = registry.counter(
+        f"{prefix}_chaos_faults_total",
+        "Chaos faults fired against the server, by fault kind.",
+        ("kind",),
+    )
+    for kind, count in sorted(snap.faults.items()):
+        faults.labels(kind=kind).inc(float(count))
+    registry.counter(
+        f"{prefix}_chaos_recoveries_total", "Completed shard failovers."
+    ).labels().inc(float(snap.recoveries))
+    registry.counter(
+        f"{prefix}_chaos_recovery_dropped_total",
+        "Requests dropped (cancelled) by failovers.",
+    ).labels().inc(float(snap.recovery_dropped))
+    registry.counter(
+        f"{prefix}_chaos_recovery_replayed_total",
+        "Requests requeued for exactly-once replay by failovers.",
+    ).labels().inc(float(snap.recovery_replayed))
+    registry.gauge(
+        f"{prefix}_chaos_recovery_seconds_mean",
+        "Mean wall-clock failover recovery time.",
+    ).labels().set(snap.mean_recovery_s)
+
     collect_cache(server.registry.cache, registry, prefix=prefix)
 
     tenant_counters = {

@@ -143,14 +143,22 @@ class RuntimeConfig:
 
 
 class _RunState:
-    """Per-run execution context threaded through the plan."""
+    """Per-run execution context threaded through the plan.
 
-    __slots__ = ("rng", "encoding", "stats")
+    ``degrade`` is the chaos runtime's seam: when set (duck-typed, see
+    :class:`repro.chaos.Degradation`), every engine-bearing step routes
+    its engine through ``degrade.wrap`` before executing, so live
+    drift/noise faults reach the analog paths without the clean hot
+    loop paying more than one ``None`` check per engine node.
+    """
 
-    def __init__(self, rng, encoding):
+    __slots__ = ("rng", "encoding", "stats", "degrade")
+
+    def __init__(self, rng, encoding, degrade=None):
         self.rng = rng
         self.encoding = encoding
         self.stats = MacroStats()
+        self.degrade = degrade
 
 
 @dataclass(frozen=True)
@@ -361,6 +369,8 @@ class _ConvStep:
         )
         signed = bool((patches < 0).any())
         engine = self.slot.engine_for(signed)
+        if state.degrade is not None:
+            engine = state.degrade.wrap(engine)
         out, stats = engine.execute_patches(
             patches, x.shape[0], out_hw, rng=state.rng, encoding=encoding
         )
@@ -394,13 +404,20 @@ class _GroupedConvStep:
         oc = self.module.out_channels
         icg = self.module.in_channels // self.module.groups
         kh, kw = self.module.kernel_size
+        if state.degrade is None:
+            engine_for = lambda g, signed: self.slots[g].engine_for(signed)
+        else:
+            degrade = state.degrade
+            engine_for = lambda g, signed: degrade.wrap(
+                self.slots[g].engine_for(signed)
+            )
         out, stats = grouped_conv_execute(
             x,
             (oc, icg, kh, kw),
             self.module.groups,
             self.slots[0].stride,
             self.slots[0].padding,
-            lambda g, signed: self.slots[g].engine_for(signed),
+            engine_for,
             rng=state.rng,
             encoding=encoding,
         )
@@ -421,6 +438,8 @@ class _LinearStep:
     def apply(self, x: np.ndarray, state: _RunState) -> np.ndarray:
         signed = bool((x < 0).any())
         engine = self.slot.engine_for(signed)
+        if state.degrade is not None:
+            engine = state.degrade.wrap(engine)
         encoding = None if signed else state.encoding
         out, stats = engine.execute(x, rng=state.rng, encoding=encoding)
         state.stats = state.stats + stats
@@ -801,6 +820,7 @@ class CompiledModel:
         encoding: Any = _USE_DEFAULT,
         rng: Optional[np.random.Generator] = None,
         session: Optional[ExecutionSession] = None,
+        degrade: Any = None,
     ) -> Tuple[np.ndarray, MacroStats]:
         """Stream one activation batch through the programmed engines.
 
@@ -809,6 +829,8 @@ class CompiledModel:
         ``encoding`` overrides the compiled default word-line encoding
         for this run (``None`` forces bit-serial); layers whose input
         carries negative values fall back to bit-serial either way.
+        ``degrade`` (a :class:`repro.chaos.Degradation`) routes every
+        engine through the live fault-injection paths for this run.
 
         Concurrent sessions over one compiled model should pass their
         own ``rng`` per run when the bit line is noisy — the compiled
@@ -818,6 +840,7 @@ class CompiledModel:
         state = _RunState(
             rng=rng if rng is not None else self._rng,
             encoding=self.config.encoding if encoding is _USE_DEFAULT else encoding,
+            degrade=degrade,
         )
         x = np.asarray(batch, dtype=np.float64)
         n_samples = x.shape[0] if x.ndim else 1

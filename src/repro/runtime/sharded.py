@@ -445,6 +445,32 @@ class ShardedModel:
             values[i] = node.op.apply(*args, state)
         return values[indices[-1]]
 
+    def _run_stage_from(
+        self, s: int, x: np.ndarray, state: _RunState, start_node: int
+    ) -> np.ndarray:
+        """Execute the suffix of stage ``s`` starting at ``start_node``.
+
+        The failover replay path: a micro-batch displaced at an old
+        shard boundary resumes mid-stage in the recovered topology.
+        ``x`` is the value of node ``start_node - 1`` (or the model
+        input when ``start_node`` is 0) — legal as the only binding
+        because the displacement point was a single-edge frontier of
+        the *original* topology, so no other value is live across it.
+        Bitwise identical to running the full plan from scratch for the
+        nodes it executes (same step objects, same RNG stream).
+        """
+        indices = tuple(i for i in self._stages[s] if i >= start_node)
+        if not indices:
+            return x
+        nodes = self.compiled._nodes
+        inbound = indices[0] - 1 if indices[0] > 0 else INPUT
+        values: Dict[int, np.ndarray] = {inbound: x}
+        for i in indices:
+            node = nodes[i]
+            args = tuple(values[j] for j in node.inputs)
+            values[i] = node.op.apply(*args, state)
+        return values[indices[-1]]
+
     # -- delegation (duck-compatible with CompiledModel) ---------------
     @property
     def n_shards(self) -> int:
@@ -498,13 +524,16 @@ class ShardedModel:
         encoding: Any = _USE_DEFAULT,
         rng: Optional[np.random.Generator] = None,
         session: Optional[ExecutionSession] = None,
+        degrade: Any = None,
     ) -> Tuple[np.ndarray, MacroStats]:
         """Stream one batch through all shards, in plan order.
 
         Bitwise identical to ``self.compiled.run(batch, ...)``: the same
         step objects execute in the same order against the same RNG
         stream; shard boundaries only add ``link_*`` accounting to the
-        returned stats.
+        returned stats.  ``degrade`` routes engines through the chaos
+        runtime's live degradation paths, as in
+        :meth:`CompiledModel.run`.
         """
         state = _RunState(
             rng=rng if rng is not None else self.compiled._rng,
@@ -513,6 +542,7 @@ class ShardedModel:
                 if encoding is _USE_DEFAULT
                 else encoding
             ),
+            degrade=degrade,
         )
         x = np.asarray(batch, dtype=np.float64)
         n_samples = x.shape[0] if x.ndim else 1
@@ -553,6 +583,7 @@ class ShardedModel:
         encoding: Any = _USE_DEFAULT,
         session: Optional[ExecutionSession] = None,
         queue_depth: int = 2,
+        chaos: Any = None,
     ) -> StreamResult:
         """Execute micro-batches pipeline-parallel across the shards.
 
@@ -567,7 +598,26 @@ class ShardedModel:
         Shards never split a micro-batch: batch-global quantization
         steps see whole batches, exactly as unsharded (the numerics
         contract in docs/numerics.md).
+
+        ``chaos`` (a :class:`repro.chaos.ChaosController`) switches to
+        the chaos-instrumented executor: fault injection, shard
+        failover and degraded-mode execution per the controller's
+        schedule, returning a :class:`repro.chaos.ChaosStreamResult`.
+        The clean path below is untouched when ``chaos`` is ``None``.
         """
+        if chaos is not None:
+            from repro.chaos.stream import run_chaos_stream
+
+            return run_chaos_stream(
+                self,
+                batches,
+                chaos,
+                seed=seed,
+                rngs=rngs,
+                encoding=encoding,
+                session=session,
+                queue_depth=queue_depth,
+            )
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         if rngs is not None and len(rngs) != len(batches):

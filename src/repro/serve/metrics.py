@@ -90,6 +90,13 @@ class MetricsSnapshot:
     uptime_s: float = 0.0
     window_s: float = 0.0
     tenants: List[TenantMetrics] = field(default_factory=list)
+    # Chaos / failover accounting.  Default-valued so snapshots built by
+    # older call sites (and pickled fixtures) stay constructible.
+    faults: Dict[str, int] = field(default_factory=dict)
+    recoveries: int = 0
+    recovery_dropped: int = 0
+    recovery_replayed: int = 0
+    mean_recovery_s: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -122,6 +129,11 @@ class MetricsSnapshot:
             # horizon its rates were computed over.
             ("uptime_s", round(self.uptime_s, 1)),
             ("window_s", round(self.window_s, 1)),
+            ("faults", sum(self.faults.values())),
+            ("recoveries", self.recoveries),
+            ("recovery_dropped", self.recovery_dropped),
+            ("recovery_replayed", self.recovery_replayed),
+            ("mean_recovery_ms", round(self.mean_recovery_s * 1e3, 3)),
         ]
 
     def tenant_rows(self) -> List[Tuple]:
@@ -167,6 +179,10 @@ class ServerMetrics:
         self.failed = 0
         self.cancelled = 0
         self.batches = 0
+        self._faults: Dict[str, int] = {}
+        self._recovery_wall_s: List[float] = []
+        self.recovery_dropped = 0
+        self.recovery_replayed = 0
 
     # -- hot-path observations ----------------------------------------
     def observe_submitted(self, n: int = 1) -> None:
@@ -210,6 +226,20 @@ class ServerMetrics:
             self.failed += len(tenants)
             for tenant in tenants:
                 self._tenant_failed[tenant] = self._tenant_failed.get(tenant, 0) + 1
+
+    def observe_fault(self, kind: str) -> None:
+        """Record one chaos fault firing (by fault kind)."""
+        with self._lock:
+            self._faults[kind] = self._faults.get(kind, 0) + 1
+
+    def observe_recovery(
+        self, wall_s: float, *, dropped: int = 0, replayed: int = 0
+    ) -> None:
+        """Record one completed failover: wall time and batch accounting."""
+        with self._lock:
+            self._recovery_wall_s.append(float(wall_s))
+            self.recovery_dropped += dropped
+            self.recovery_replayed += replayed
 
     def observe_cancelled(self, tenant: str) -> None:
         with self._lock:
@@ -259,6 +289,15 @@ class ServerMetrics:
                 mean_queued_s=float(queued.mean()) if queued.size else 0.0,
                 uptime_s=now - self._born,
                 window_s=self.window_s,
+                faults=dict(self._faults),
+                recoveries=len(self._recovery_wall_s),
+                recovery_dropped=self.recovery_dropped,
+                recovery_replayed=self.recovery_replayed,
+                mean_recovery_s=(
+                    float(np.mean(self._recovery_wall_s))
+                    if self._recovery_wall_s
+                    else 0.0
+                ),
             )
             tenant_completed = dict(self._tenant_completed)
             tenant_rejected = dict(self._tenant_rejected)

@@ -205,6 +205,24 @@ class ModelRegistry:
             self._entries[name] = entry
             return entry
 
+    def swap_compiled(self, name: str, compiled: CompiledModel) -> RegisteredModel:
+        """Replace ``name``'s compiled image in place (failover path).
+
+        Unlike :meth:`register` this swaps an already-built image —
+        e.g. a deployment re-planned around a dead shard — without
+        recompiling.  The generation is bumped so observers can tell a
+        recovered entry from the original registration.
+        """
+        with self._lock:
+            try:
+                entry = self._entries[name]
+            except KeyError:
+                raise UnknownModelError(name) from None
+            entry.compiled = compiled
+            entry.generation += 1
+        _log.debug("swapped %r image (generation %d)", name, entry.generation)
+        return entry
+
     def evict(self, name: str) -> RegisteredModel:
         """Drop ``name``; its engines stay in the LRU cache until evicted
         there, so a prompt re-registration is cheap."""

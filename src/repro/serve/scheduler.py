@@ -167,6 +167,25 @@ class RequestQueue:
         with self._lock:
             return self._depth
 
+    def wait_closed(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`close` has run (event-based, no polling).
+
+        ``close`` notifies the queue's condition variable, so this is a
+        real synchronization point — used by shutdown tests that must
+        order "the queue is closed" against a blocked worker without
+        sleeping.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            while not self._closed:
+                wait = None
+                if deadline is not None:
+                    wait = deadline - time.monotonic()
+                    if wait <= 0:
+                        return False
+                self._ready.wait(wait)
+            return True
+
     def offer(self, request: InferenceRequest) -> str:
         """Admit ``request`` or return a typed refusal reason."""
         policy = self.policy
@@ -297,6 +316,44 @@ class RequestQueue:
                 samples=sum(r.n_samples for r in batch),
             )
         return batch
+
+    def requeue(self, batch: List[InferenceRequest]) -> bool:
+        """Re-admit a drawn batch at the *front* of its lanes.
+
+        Used by failover: a batch displaced by a shard death goes back
+        to the head of the queue (original ``seq`` values are kept, so
+        age ordering and ``head_seq`` bookkeeping stay consistent) and
+        re-executes exactly once on the recovered model.
+
+        Returns ``False`` during a cancelling shutdown
+        (``close(flush=False)``): the caller must complete the batch as
+        cancelled itself, because ``drain_remaining`` may already have
+        run and anything re-inserted here would be stranded.
+        """
+        if not batch:
+            return True
+        with self._ready:
+            if self._closed and not self._flush_on_close:
+                return False
+            for request in reversed(batch):
+                lane = self._lanes.get(request.model)
+                if lane is None:
+                    lane = self._lanes[request.model] = _ModelLane(request.model)
+                pending = lane.tenants.get(request.tenant)
+                if pending is None:
+                    pending = lane.tenants[request.tenant] = deque()
+                    lane.rotation.appendleft(request.tenant)
+                pending.appendleft(request)
+                lane.samples += request.n_samples
+                self._depth += request.n_samples
+                self._tenant_pending[request.tenant] = (
+                    self._tenant_pending.get(request.tenant, 0) + request.n_samples
+                )
+            for model in {r.model for r in batch}:
+                lane = self._lanes[model]
+                lane.head_seq = lane.oldest().seq
+            self._ready.notify()
+            return True
 
     def drain_remaining(self) -> List[InferenceRequest]:
         """Pop everything still pending (used at shutdown to cancel)."""

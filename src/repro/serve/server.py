@@ -91,7 +91,20 @@ class InferenceServer:
         metrics: Optional[ServerMetrics] = None,
         record_batches: bool = False,
         rng_seed: int = 0,
+        chaos=None,
     ):
+        """``chaos`` is an optional :class:`repro.chaos.ChaosController`:
+        each executed batch consumes one chaos index (the server-side
+        analogue of a stream micro-batch index), degradation windows
+        route the batch through the degraded engine paths, and a fired
+        shard death triggers failover — the deployment is re-planned
+        around the casualty (warm from the controller's artifact store
+        when possible), hot-swapped into the registry, and the displaced
+        batch requeued at the head of its lane to re-execute exactly
+        once.  Chaos indexes are allocated at execution start, so with
+        ``n_workers > 1`` the batch → index mapping depends on worker
+        interleaving; deterministic campaigns use ``n_workers=1``.
+        """
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.registry = registry
@@ -100,6 +113,10 @@ class InferenceServer:
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.record_batches = record_batches
         self.executed_batches: List[ExecutedBatch] = []
+        self.chaos = chaos
+        self.recoveries: List = []
+        self._chaos_seq = 0
+        self._chaos_chip_ns = 0.0
         self._n_workers = n_workers
         self._rng_seed = rng_seed
         self._workers: List[threading.Thread] = []
@@ -328,6 +345,19 @@ class InferenceServer:
             self._fail_batch(batch, f"model {model!r} was evicted before execution")
             return
         tracer = trace.current()
+        degrade = None
+        if self.chaos is not None:
+            with self._state_lock:
+                chaos_seq = self._chaos_seq
+                self._chaos_seq += 1
+                chip_ns = self._chaos_chip_ns
+            event = self.chaos.check_shard_death(
+                shard=None, index=chaos_seq, chip_ns=chip_ns
+            )
+            if event is not None:
+                self._chaos_failover(model, batch, event)
+                return
+            degrade = self.chaos.degradation_at(chaos_seq, chip_ns=chip_ns)
         try:
             inputs = (
                 np.concatenate([request.x for request in batch])
@@ -336,7 +366,7 @@ class InferenceServer:
             )
             started = time.monotonic()
             exec_t0 = time.perf_counter() if tracer is not None else 0.0
-            outputs, stats = compiled.run(inputs, rng=rng)
+            outputs, stats = compiled.run(inputs, rng=rng, degrade=degrade)
             exec_t1 = time.perf_counter() if tracer is not None else 0.0
         except Exception as error:
             if len(batch) > 1:
@@ -353,6 +383,10 @@ class InferenceServer:
         with self._state_lock:
             batch_seq = self._batch_seq
             self._batch_seq += 1
+            if self.chaos is not None:
+                # Advance the simulated chip clock chip-time-fired chaos
+                # events are judged against.
+                self._chaos_chip_ns += stats.latency_ns + stats.link_latency_ns
 
         # Per-tenant accounting: one locked record per tenant present.
         tenant_samples: Dict[str, int] = {}
@@ -442,6 +476,132 @@ class InferenceServer:
             ):
                 for request, result in zip(batch, results):
                     self._complete_request(request, result)
+
+    def _chaos_failover(self, model, batch, event) -> None:
+        """Recover from a fired shard death before executing ``batch``.
+
+        Re-plans the entry's deployment around the casualty (warm from
+        the controller's artifact store when it holds the surviving
+        topology), hot-swaps it into the registry, then requeues the
+        displaced batch at the head of its lane so it re-executes
+        exactly once on the recovered model.  ``requeue`` refuses during
+        a cancelling shutdown — the batch then completes as CANCELLED
+        here instead of being stranded behind ``drain_remaining``.
+
+        An unrecoverable deployment (monolithic, or no shard left)
+        drops the batch as CANCELLED; the record still lands in
+        ``recoveries`` with ``n_shards_after`` at the floor.
+        """
+        import dataclasses
+
+        from repro.chaos.stream import RecoveryRecord
+        from repro.runtime import ShardedModel, snapshot
+        from repro.runtime import shard as shard_compiled
+
+        chaos = self.chaos
+        self.metrics.observe_fault(event.kind)
+        tracer = trace.current()
+        t_start = time.perf_counter()
+        try:
+            entry = self.registry.entry(model)
+        except KeyError:
+            self._fail_batch(batch, f"model {model!r} was evicted before execution")
+            return
+        current = entry.compiled
+        sharded = isinstance(current, ShardedModel)
+        n_before = current.n_shards if sharded else 1
+        n_after = n_before - 1
+        dead = (
+            event.shard
+            if event.shard is not None and event.shard < n_before
+            else n_before - 1
+        )
+        recovered = None
+        warm = False
+        replan_s = 0.0
+        restore_s = 0.0
+        if sharded and n_after >= 1:
+            if chaos.store is not None and chaos.artifact_key_fn is not None:
+                t0 = time.perf_counter()
+                try:
+                    key = chaos.artifact_key_fn(n_after)
+                    restored = snapshot.load(chaos.store, key)
+                    if (
+                        isinstance(restored, ShardedModel)
+                        and restored.n_shards == n_after
+                    ):
+                        recovered = restored
+                        warm = True
+                except snapshot.SnapshotError:
+                    recovered = None  # cold re-plan below
+                restore_s = time.perf_counter() - t0
+            if recovered is None:
+                t0 = time.perf_counter()
+                recovered = shard_compiled(
+                    current.compiled,
+                    n_after,
+                    link=current.link,
+                    input_shape=chaos.input_shape,
+                )
+                replan_s = time.perf_counter() - t0
+            self.registry.swap_compiled(model, recovered)
+
+        displaced = tuple(request.request_id for request in batch)
+        record = RecoveryRecord(
+            events=(event,),
+            dead_shards=(dead,),
+            n_shards_before=n_before,
+            n_shards_after=recovered.n_shards if recovered is not None else 0,
+            displaced=displaced,
+            dropped=() if recovered is not None else displaced,
+            replayed=displaced if recovered is not None else (),
+            resume_nodes=(0,) * len(displaced) if recovered is not None else (),
+            warm_restored=warm,
+            wall_s=time.perf_counter() - t_start,
+            replan_s=replan_s,
+            restore_s=restore_s,
+        )
+        if tracer is not None:
+            with tracer.span(
+                "chaos:recovery",
+                "chaos",
+                model=model,
+                dead_shard=dead,
+                n_shards_after=record.n_shards_after,
+                warm_restored=warm,
+            ):
+                pass
+        # Test seam, before the displaced batch is requeued — mirrors
+        # the stream contract ("after failover, before replay").
+        if chaos.recovery_hook is not None:
+            chaos.recovery_hook(record)
+        requeued = recovered is not None and self.queue.requeue(batch)
+        if not requeued:
+            # Unrecoverable, or a cancelling shutdown closed the queue
+            # mid-recovery: complete the batch here, never strand it.
+            record = dataclasses.replace(
+                record, dropped=displaced, replayed=(), resume_nodes=()
+            )
+            for request in batch:
+                self.metrics.observe_cancelled(request.tenant)
+                self._complete_request(
+                    request,
+                    InferenceResult(
+                        status=RequestStatus.CANCELLED,
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        model=request.model,
+                        error=f"displaced by {event.kind} and not requeued",
+                    ),
+                )
+        self.metrics.observe_recovery(
+            record.wall_s,
+            dropped=len(record.dropped),
+            replayed=len(record.replayed),
+        )
+        with self._state_lock:
+            self.recoveries.append(record)
+        chaos.recoveries.append(record)
 
     def _fail_batch(self, batch: List[InferenceRequest], error: str) -> None:
         # Observe before completing, like the success path: a client

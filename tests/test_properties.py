@@ -182,3 +182,129 @@ class TestMacroProperties:
         _, s2 = macro.matmul(x2)
         assert s2.total_energy_fj > s1.total_energy_fj
         assert s2.macs == 2 * s1.macs
+
+
+# -- chaos fault schedules ---------------------------------------------
+
+from repro.chaos import FaultEvent, FaultSchedule, generate_schedule
+from repro.chaos.schedule import (
+    ADC_DRIFT,
+    BITLINE_NOISE,
+    LINK_DEGRADE,
+    SHARD_DEATH,
+)
+
+
+@st.composite
+def fault_events(draw):
+    """Valid FaultEvents across every kind and firing mode."""
+    kind = draw(st.sampled_from((SHARD_DEATH, LINK_DEGRADE, ADC_DRIFT, BITLINE_NOISE)))
+    by_index = draw(st.booleans())
+    kwargs = {
+        "kind": kind,
+        "at_index": draw(st.integers(0, 256)) if by_index else None,
+        "at_chip_ns": (
+            None
+            if by_index
+            else draw(st.floats(0.0, 1e9, allow_nan=False, allow_infinity=False))
+        ),
+        "label": draw(st.sampled_from(("", "a", "ramp-1"))),
+    }
+    if kind in (SHARD_DEATH, LINK_DEGRADE):
+        kwargs["shard"] = draw(st.integers(0, 7))
+    else:
+        kwargs["shard"] = draw(st.one_of(st.none(), st.integers(0, 7)))
+    if kind == SHARD_DEATH:
+        kwargs["drop"] = draw(st.integers(0, 4))
+    else:
+        kwargs["duration"] = draw(st.one_of(st.none(), st.integers(1, 64)))
+    if kind in (ADC_DRIFT, BITLINE_NOISE):
+        kwargs["magnitude"] = draw(
+            st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+        )
+    if kind == ADC_DRIFT:
+        kwargs["gain_slope"] = draw(
+            st.floats(-0.5, 0.5, allow_nan=False, allow_infinity=False)
+        )
+    if kind == LINK_DEGRADE:
+        kwargs["latency_factor"] = draw(
+            st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False, exclude_min=True)
+        )
+        kwargs["energy_factor"] = draw(
+            st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False, exclude_min=True)
+        )
+    return FaultEvent(**kwargs)
+
+
+fault_schedules = st.builds(
+    FaultSchedule,
+    seed=st.integers(0, 2**31 - 1),
+    events=st.lists(fault_events(), max_size=8).map(tuple),
+)
+
+
+class TestFaultScheduleProperties:
+    @given(fault_schedules)
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_round_trip_identity(self, schedule):
+        # meta round trip is exact (events are frozen dataclasses with
+        # value equality), and the JSON text itself is stable.
+        assert FaultSchedule.from_meta(schedule.to_meta()) == schedule
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        assert restored.to_json() == schedule.to_json()
+
+    @given(fault_schedules)
+    @settings(max_examples=60, deadline=None)
+    def test_normalization_sorts_and_is_idempotent(self, schedule):
+        normalized = schedule.normalized()
+        keys = [e.firing_key() for e in normalized.events]
+        assert keys == sorted(keys)
+        # Stable sort: idempotent, and a second normalization returns
+        # the very same object (the no-op fast path).
+        assert normalized.normalized() is normalized
+        # Same multiset of events — normalization reorders, never edits.
+        assert sorted(map(id, normalized.events)) == sorted(
+            map(id, schedule.events)
+        )
+
+    @given(fault_schedules, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_event_order_invariance_under_shuffle(self, schedule, rnd):
+        # Normalizing any permutation yields the same firing-key order;
+        # ties (stable sort) preserve the permuted insertion order, so
+        # compare the sorted key sequences and the event multiset.
+        shuffled = list(schedule.events)
+        rnd.shuffle(shuffled)
+        from dataclasses import replace
+
+        permuted = replace(schedule, events=tuple(shuffled)).normalized()
+        assert [e.firing_key() for e in permuted.events] == [
+            e.firing_key() for e in schedule.normalized().events
+        ]
+        assert sorted(permuted.events, key=repr) == sorted(
+            schedule.events, key=repr
+        )
+
+    @given(
+        st.integers(0, 2**16),
+        st.integers(1, 64),
+        st.integers(1, 8),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_schedules_monotone_and_replayable(
+        self, seed, n_batches, n_shards, n_events
+    ):
+        schedule = generate_schedule(
+            seed, n_batches=n_batches, n_shards=n_shards, n_events=n_events
+        )
+        indexes = [e.at_index for e in schedule.events]
+        assert all(i is not None for i in indexes)
+        assert indexes == sorted(indexes)  # firing-point monotonicity
+        assert all(0 <= i < n_batches for i in indexes)
+        # Same seed, same draw — generation is replayable.
+        again = generate_schedule(
+            seed, n_batches=n_batches, n_shards=n_shards, n_events=n_events
+        )
+        assert again == schedule

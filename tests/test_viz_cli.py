@@ -86,9 +86,15 @@ class TestCli:
         sub = next(
             a for a in parser._actions if hasattr(a, "choices") and a.choices
         )
-        assert {"info", "table1", "fig14", "fig10", "options", "packing"} <= set(
-            sub.choices
-        )
+        assert {
+            "info",
+            "table1",
+            "fig14",
+            "fig10",
+            "options",
+            "packing",
+            "chaos",
+        } <= set(sub.choices)
 
     def test_info_command(self, capsys):
         assert main(["info"]) == 0
@@ -156,6 +162,12 @@ class TestExtensionCommands:
         assert main(["shard", "--model", "resnet8", "--batches", "3"]) == 0
         out = capsys.readouterr().out
         assert "pipelined_ms" in out and "True" in out
+
+    def test_chaos_command(self, capsys):
+        assert main(["chaos", "--batches", "4", "--campaigns", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out and "bitwise" in out
+        assert "recovery_ms_mean" in out
 
     @pytest.mark.slow
     def test_dusearch_command(self, capsys):
