@@ -34,7 +34,7 @@ Top-level subpackages
     One runner per paper table/figure.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "nn",

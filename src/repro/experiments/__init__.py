@@ -30,6 +30,7 @@ module              implements
 ``options_study``   Options I-IV head-to-head (Fig. 6)
 ``ablations``       ADC bits, bit-line noise, packing, standby, init
 ``runtime_study``   compile-once runtime amortization (serving/streaming)
+``backend_study``   kernel-backend autotuning: default vs tuned serving
 ``shard_study``     sharded pipeline-parallel makespans on executed traffic
 ``warmstart_study``  cold compile vs persisted-artifact warm start
 ==================  ================================================
@@ -37,6 +38,7 @@ module              implements
 
 from repro.experiments import (
     ablations,
+    backend_study,
     cim_accuracy,
     du_search,
     encoding_study,
@@ -61,6 +63,7 @@ from repro.experiments.common import (
 
 __all__ = [
     "ablations",
+    "backend_study",
     "cim_accuracy",
     "du_search",
     "encoding_study",

@@ -15,6 +15,11 @@ software:
   macros; ``capacity=0`` reproduces the seed per-call behaviour.
 * :func:`reference_forward` — the seed per-call path kept as a bit-exact
   oracle and benchmark baseline.
+* :mod:`repro.runtime.backends` — pluggable execution kernels held to
+  bitwise identity with the reference walk, plus :func:`tune_kernel`,
+  the compile-time autotuner that benchmarks the registered candidates
+  per engine (``RuntimeConfig(backend="auto")``) and records winners in
+  snapshots so warm starts skip re-benchmarking.
 * :func:`shard` / :class:`ShardedModel` — partition a compiled plan
   across simulated chiplets and execute micro-batch streams
   pipeline-parallel, with inter-chiplet link energy/latency accounting
@@ -40,6 +45,16 @@ from repro.runtime.cache import (
     resolve_cache,
     set_default_cache,
     weight_fingerprint,
+)
+from repro.runtime.backends import (
+    AUTO_BACKEND,
+    DEFAULT_BACKEND,
+    KernelBackend,
+    TuneReport,
+    available_backends,
+    get_backend,
+    register_backend,
+    tune_kernel,
 )
 from repro.runtime.errors import CompileError, UnsupportedModuleError
 from repro.runtime.kernels import MacroBitSerialKernel, TiledBitSerialKernel
@@ -114,6 +129,14 @@ __all__ = [
     "resolve_cache",
     "macro_config_key",
     "weight_fingerprint",
+    "AUTO_BACKEND",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "TuneReport",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "tune_kernel",
     "MacroBitSerialKernel",
     "TiledBitSerialKernel",
     "ProgrammedConv",

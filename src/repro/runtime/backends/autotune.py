@@ -1,0 +1,160 @@
+"""Compile-time kernel autotuner: measure candidates, veto, keep one.
+
+``tune_kernel`` runs at engine programming time.  It builds the
+default ``reference-fast`` kernel (the oracle), runs every other
+supported backend on a deterministic probe batch, **vetoes** any
+candidate whose output or stats are not bit-for-bit the oracle's, and
+times the survivors — the fastest one becomes the engine's kernel.
+Candidates are never trusted: a backend with a perfect exactness
+argument still gets compared, and a single differing bit drops it.
+
+Decisions are cached process-wide by the engine's *structural* key
+(tile shape, macro config, probe size) — two engines with the same
+structure share one benchmarking pass, so programming a fleet of
+same-shaped layers pays the probe cost once.  The winning name also
+travels in ``.rcma`` snapshot headers (format v3), so a warm-started
+process rebuilds the tuned kernel without re-benchmarking at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.backends.base import (
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+)
+from repro.runtime.backends.reference_fast import TiledBitSerialKernel
+from repro.runtime.cache import macro_config_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cim.mvm import CimTiledMatmul
+
+
+@dataclass(frozen=True)
+class TuneReport:
+    """What the autotuner decided for one engine, and why."""
+
+    winner: str
+    probe_n: int
+    timings_ms: Dict[str, float] = field(default_factory=dict)
+    vetoed: Tuple[str, ...] = ()
+    #: True when the decision came from the process-wide structural
+    #: cache (no probe was run for this engine).
+    cached: bool = False
+
+    def speedup(self) -> float:
+        """Measured reference-time / winner-time (1.0 when unknown)."""
+        ref = self.timings_ms.get(DEFAULT_BACKEND)
+        won = self.timings_ms.get(self.winner)
+        if not ref or not won:
+            return 1.0
+        return ref / won
+
+
+_decisions: Dict[Tuple, TuneReport] = {}
+_lock = threading.Lock()
+
+
+def clear_tune_cache() -> None:
+    """Drop all cached tuning decisions (tests and benchmarks)."""
+    with _lock:
+        _decisions.clear()
+
+
+def _structural_key(engine: "CimTiledMatmul", probe_n: int, names) -> Tuple:
+    return (engine.shape, macro_config_key(engine.config), probe_n, names)
+
+
+def _probe_batch(engine: "CimTiledMatmul", probe_n: int) -> np.ndarray:
+    """Deterministic integer-code probe covering the full input range."""
+    rows = engine.shape[0]
+    low, high = engine.config.input_range()
+    rng = np.random.default_rng([rows, engine.shape[1], probe_n, high - low])
+    return rng.integers(low, high + 1, size=(rows, probe_n), dtype=np.int64)
+
+
+def _best_of(kernel, probe: np.ndarray, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel.matmul(probe)
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def tune_kernel(
+    engine: "CimTiledMatmul",
+    *,
+    probe_n: int = 1,
+    repeats: int = 3,
+    candidates: Optional[Sequence[str]] = None,
+) -> Tuple[TiledBitSerialKernel, TuneReport]:
+    """Pick the fastest bitwise-identical kernel backend for ``engine``.
+
+    Returns the built winning kernel and the :class:`TuneReport`.  The
+    reference-fast kernel is always built (it is the exactness oracle
+    and the fallback winner) and candidate kernels adopt its tile
+    groups, so tuning never re-derives program-time layout per
+    candidate.
+    """
+    if probe_n < 1:
+        raise ValueError(f"probe_n must be >= 1, got {probe_n}")
+    config = engine.config
+    names = tuple(candidates) if candidates is not None else available_backends()
+    reference = TiledBitSerialKernel(engine)
+    key = _structural_key(engine, probe_n, names)
+    with _lock:
+        cached = _decisions.get(key)
+    if cached is not None:
+        winner = get_backend(cached.winner).adopt(reference)
+        report = TuneReport(
+            winner=cached.winner,
+            probe_n=probe_n,
+            timings_ms=dict(cached.timings_ms),
+            vetoed=cached.vetoed,
+            cached=True,
+        )
+        return winner, report
+
+    probe = _probe_batch(engine, probe_n)
+    # First call warms the per-shape einsum dispatch caches (capture +
+    # veto), so the timed calls below measure the steady serving state.
+    ref_out, ref_stats = reference.matmul(probe)
+
+    kernels = {DEFAULT_BACKEND: reference}
+    vetoed = []
+    for name in names:
+        if name == DEFAULT_BACKEND:
+            continue
+        cls = get_backend(name)
+        if not cls.supported(config):
+            continue
+        kernel = cls.adopt(reference)
+        out, stats = kernel.matmul(probe)
+        if not (np.array_equal(out, ref_out) and stats == ref_stats):
+            vetoed.append(name)
+            continue
+        kernels[name] = kernel
+
+    timings = {
+        name: _best_of(kernel, probe, repeats)
+        for name, kernel in kernels.items()
+    }
+    winner_name = min(timings, key=lambda name: timings[name])
+    report = TuneReport(
+        winner=winner_name,
+        probe_n=probe_n,
+        timings_ms=timings,
+        vetoed=tuple(vetoed),
+        cached=False,
+    )
+    with _lock:
+        _decisions[key] = report
+    return kernels[winner_name], report

@@ -55,10 +55,14 @@ class CacheStats:
 
     ``disk_hits`` / ``disk_misses`` count the disk second tier (when the
     cache owns an artifact store): a disk hit restores a programmed
-    engine instead of programming it, a disk miss falls through to
-    programming from scratch.  In-memory ``hits`` never touch the disk
-    tier, so ``misses == disk_hits + disk_misses`` on a disk-backed
-    cache.
+    engine instead of programming it, a disk miss — whether the store
+    raised *or* returned nothing — falls through to programming from
+    scratch.  In-memory ``hits`` never touch the disk tier, so
+    ``misses == disk_hits + disk_misses`` on a disk-backed cache.
+
+    ``tuned`` counts engines that entered the cache carrying an
+    autotuned kernel (programmed with ``backend="auto"`` or restored
+    from a tuned snapshot/artifact).
     """
 
     hits: int = 0
@@ -67,6 +71,7 @@ class CacheStats:
     programmed: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    tuned: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -75,7 +80,7 @@ class CacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.programmed = 0
-        self.disk_hits = self.disk_misses = 0
+        self.disk_hits = self.disk_misses = self.tuned = 0
 
 
 def weight_fingerprint(weight: np.ndarray) -> str:
@@ -191,6 +196,7 @@ class EngineCache:
             self.stats.misses += 1
         # Disk tier and programming both run outside the lock: neither
         # may serialize concurrent sessions compiling other layers.
+        # Without a store there is no disk tier to consult at all.
         if self.store is not None:
             with trace.maybe_span(
                 "engine_disk_load", "cache", layer=key.layer_id
@@ -198,13 +204,11 @@ class EngineCache:
                 restored = self._from_disk(key)
                 if sp is not None:
                     sp.set("hit", restored is not None)
-        else:
-            restored = self._from_disk(key)
-        if restored is not None:
-            with self._lock:
-                self.stats.disk_hits += 1
-            _log.debug("engine %s: restored from disk tier", key.layer_id)
-            return self._retain(key, restored, "disk")
+            if restored is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                _log.debug("engine %s: restored from disk tier", key.layer_id)
+                return self._retain(key, restored, "disk")
         with trace.maybe_span("engine_program", "cache", layer=key.layer_id):
             engine = factory()
         with self._lock:
@@ -214,6 +218,10 @@ class EngineCache:
         return self._retain(key, engine, "programmed")
 
     def _retain(self, key: EngineKey, engine: Any, tier: str = "programmed") -> Any:
+        if getattr(engine, "tuned", False):
+            tier = tier + "+tuned"
+            with self._lock:
+                self.stats.tuned += 1
         with self._lock:
             if self.capacity > 0:
                 existing = self._entries.get(key)
@@ -231,26 +239,34 @@ class EngineCache:
 
     def tier_of(self, key: EngineKey) -> Optional[str]:
         """Provenance of the resident engine for ``key`` —
-        ``"programmed"``, ``"disk"`` or ``"snapshot"`` — or ``None``
-        when the key is not resident in the memory tier."""
+        ``"programmed"``, ``"disk"`` or ``"snapshot"``, with a
+        ``"+tuned"`` suffix when the engine carries an autotuned kernel
+        — or ``None`` when the key is not resident in the memory
+        tier."""
         with self._lock:
             if key not in self._entries:
                 return None
             return self._tiers.get(key, "programmed")
 
     def _from_disk(self, key: EngineKey) -> Optional[Any]:
-        """Disk-tier lookup; any failure degrades to a miss, never raises."""
-        if self.store is None:
-            return None
+        """Disk-tier lookup; any failure degrades to a miss, never raises.
+
+        A quiet ``None`` from the store counts as a disk miss exactly
+        like a raised error does — every disk-tier consultation lands in
+        either ``disk_hits`` or ``disk_misses``, so the two reconcile
+        against ``misses``.
+        """
         try:
-            return self.store.read_engine(key)
+            restored = self.store.read_engine(key)
         except Exception:
             # Missing, corrupted, stale or version-mismatched artifact —
             # fall through to programming from scratch.  The server must
             # keep serving whatever the store's state is.
+            restored = None
+        if restored is None:
             with self._lock:
                 self.stats.disk_misses += 1
-            return None
+        return restored
 
     def _to_disk(self, key: EngineKey, engine: Any) -> None:
         """Best-effort write-back; storage failures never fail the lookup."""
@@ -263,12 +279,17 @@ class EngineCache:
 
     def put(self, key: EngineKey, engine: Any) -> None:
         """Seed ``key`` with an externally restored engine (snapshot load)."""
+        tier = "snapshot"
+        if getattr(engine, "tuned", False):
+            tier = tier + "+tuned"
+            with self._lock:
+                self.stats.tuned += 1
         with self._lock:
             if self.capacity <= 0:
                 return
             self._entries[key] = engine
             self._entries.move_to_end(key)
-            self._tiers[key] = "snapshot"
+            self._tiers[key] = tier
             while len(self._entries) > self.capacity:
                 evicted, _ = self._entries.popitem(last=False)
                 self._tiers.pop(evicted, None)

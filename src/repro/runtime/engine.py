@@ -28,6 +28,13 @@ from repro.cim.macro import MacroConfig, MacroStats
 from repro.cim.mvm import CimTiledMatmul, validate_groups
 from repro.nn import functional as F
 from repro.quant.quantizer import QuantSpec, quantize
+from repro.runtime.backends import (
+    AUTO_BACKEND,
+    DEFAULT_BACKEND,
+    TuneReport,
+    get_backend,
+    tune_kernel,
+)
 from repro.runtime.cache import (
     EngineCache,
     EngineKey,
@@ -48,6 +55,14 @@ class ProgrammedLinear:
     ``signed_inputs`` is fixed at programming time: the macro's input
     bit-plane weights (two's complement MSB) are part of the programmed
     configuration, exactly as on silicon.
+
+    ``backend`` selects the execution kernel: ``None`` keeps the
+    default ``reference-fast`` kernel, an explicit registered name
+    builds that backend, and ``"auto"`` runs the compile-time autotuner
+    (:func:`repro.runtime.backends.tune_kernel`) — every choice is held
+    to bitwise identity with the reference walk, so the selection is a
+    pure speed decision.  ``tune_probe_n`` is the probe batch width the
+    autotuner benchmarks with; pick the serving batch size you expect.
     """
 
     def __init__(
@@ -56,6 +71,8 @@ class ProgrammedLinear:
         config: Optional[MacroConfig] = None,
         activation_bits: int = 8,
         signed_inputs: bool = False,
+        backend: Optional[str] = None,
+        tune_probe_n: int = 1,
     ):
         config = config if config is not None else MacroConfig()
         weight = np.asarray(weight, dtype=np.float64)
@@ -82,11 +99,37 @@ class ProgrammedLinear:
             bitline=bitline,
         )
         self.engine = CimTiledMatmul(self.w_codes.T, self.run_config)
-        self._kernel = (
-            TiledBitSerialKernel(self.engine)
-            if TiledBitSerialKernel.supported(self.run_config)
-            else None
-        )
+        #: What the caller asked for (``None`` / ``"auto"`` / a name) —
+        #: part of the engine's cache identity, and distinct from the
+        #: resolved ``kernel_backend`` below.
+        self.backend_request: Optional[str] = backend
+        #: Name of the kernel backend executing this engine (``None``
+        #: when the configuration forces the reference macro path).
+        self.kernel_backend: Optional[str] = None
+        #: True when the backend was chosen by the compile-time
+        #: autotuner rather than pinned by the caller.
+        self.tuned: bool = False
+        #: The autotuner's :class:`TuneReport` when ``tuned`` is True.
+        self.tune_report: Optional[TuneReport] = None
+        self._kernel = None
+        if backend == AUTO_BACKEND:
+            if TiledBitSerialKernel.supported(self.run_config):
+                self._kernel, self.tune_report = tune_kernel(
+                    self.engine, probe_n=int(tune_probe_n)
+                )
+                self.kernel_backend = self.tune_report.winner
+                self.tuned = True
+        else:
+            cls = (
+                TiledBitSerialKernel
+                if backend is None
+                else get_backend(backend)
+            )
+            if cls.supported(self.run_config):
+                self._kernel = cls(self.engine)
+                self.kernel_backend = (
+                    DEFAULT_BACKEND if backend is None else backend
+                )
 
     @property
     def n_subarrays(self) -> int:
@@ -159,6 +202,8 @@ class ProgrammedConv:
         config: Optional[MacroConfig] = None,
         activation_bits: int = 8,
         signed_inputs: bool = False,
+        backend: Optional[str] = None,
+        tune_probe_n: int = 64,
     ):
         weight = np.asarray(weight, dtype=np.float64)
         if weight.ndim != 4:
@@ -166,16 +211,38 @@ class ProgrammedConv:
         self.out_channels, self.in_channels, self.kh, self.kw = weight.shape
         self.stride = int(stride)
         self.padding = int(padding)
+        # Convolutions execute im2col patch batches — hundreds to
+        # thousands of vectors per call — so the tuning probe defaults
+        # wide; a batch-1 probe would crown a kernel tuned for the
+        # wrong regime.
         self.linear = ProgrammedLinear(
             weight.reshape(self.out_channels, -1),
             config,
             activation_bits,
             signed_inputs,
+            backend=backend,
+            tune_probe_n=tune_probe_n,
         )
 
     @property
     def n_subarrays(self) -> int:
         return self.linear.n_subarrays
+
+    @property
+    def backend_request(self) -> Optional[str]:
+        return self.linear.backend_request
+
+    @property
+    def kernel_backend(self) -> Optional[str]:
+        return self.linear.kernel_backend
+
+    @property
+    def tuned(self) -> bool:
+        return self.linear.tuned
+
+    @property
+    def tune_report(self) -> Optional[TuneReport]:
+        return self.linear.tune_report
 
     @property
     def weight_shape(self) -> Tuple[int, int, int, int]:
@@ -261,6 +328,16 @@ def grouped_conv_execute(
 # ----------------------------------------------------------------------
 # Cache-aware constructors
 # ----------------------------------------------------------------------
+def _backend_key_suffix(backend: Optional[str]) -> Tuple:
+    """Key extension for a backend request.
+
+    ``None`` (the default kernel) extends nothing, so every key minted
+    before the backend layer existed — including those already baked
+    into ``.rcma`` artifact digests — is unchanged.
+    """
+    return () if backend is None else ("backend", str(backend))
+
+
 def linear_engine_key(
     weight: np.ndarray,
     config: MacroConfig,
@@ -268,6 +345,7 @@ def linear_engine_key(
     signed_inputs: bool,
     layer_id: str = "functional",
     fingerprint: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> EngineKey:
     return EngineKey(
         layer_id=layer_id,
@@ -277,7 +355,8 @@ def linear_engine_key(
             macro_config_key(config),
             int(activation_bits),
             bool(signed_inputs),
-        ),
+        )
+        + _backend_key_suffix(backend),
     )
 
 
@@ -290,6 +369,7 @@ def conv_engine_key(
     signed_inputs: bool,
     layer_id: str = "functional",
     fingerprint: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> EngineKey:
     return EngineKey(
         layer_id=layer_id,
@@ -301,7 +381,8 @@ def conv_engine_key(
             bool(signed_inputs),
             int(stride),
             int(padding),
-        ),
+        )
+        + _backend_key_suffix(backend),
     )
 
 
@@ -314,16 +395,22 @@ def linear_engine(
     layer_id: str = "functional",
     cache: Optional[EngineCache] = None,
     fingerprint: Optional[str] = None,
+    backend: Optional[str] = None,
+    tune_probe_n: int = 1,
 ) -> ProgrammedLinear:
     """Fetch (or program on first use) a cached linear engine."""
     config = config if config is not None else MacroConfig()
     cache = resolve_cache(cache)
     key = linear_engine_key(
-        weight, config, activation_bits, signed_inputs, layer_id, fingerprint
+        weight, config, activation_bits, signed_inputs, layer_id, fingerprint,
+        backend=backend,
     )
     return cache.get_or_program(
         key,
-        lambda: ProgrammedLinear(weight, config, activation_bits, signed_inputs),
+        lambda: ProgrammedLinear(
+            weight, config, activation_bits, signed_inputs,
+            backend=backend, tune_probe_n=tune_probe_n,
+        ),
     )
 
 
@@ -338,17 +425,20 @@ def conv_engine(
     layer_id: str = "functional",
     cache: Optional[EngineCache] = None,
     fingerprint: Optional[str] = None,
+    backend: Optional[str] = None,
+    tune_probe_n: int = 64,
 ) -> ProgrammedConv:
     """Fetch (or program on first use) a cached convolution engine."""
     config = config if config is not None else MacroConfig()
     cache = resolve_cache(cache)
     key = conv_engine_key(
         weight, stride, padding, config, activation_bits, signed_inputs,
-        layer_id, fingerprint,
+        layer_id, fingerprint, backend=backend,
     )
     return cache.get_or_program(
         key,
         lambda: ProgrammedConv(
-            weight, stride, padding, config, activation_bits, signed_inputs
+            weight, stride, padding, config, activation_bits, signed_inputs,
+            backend=backend, tune_probe_n=tune_probe_n,
         ),
     )

@@ -1,538 +1,17 @@
-"""Optimized bit-serial execution kernels for programmed macros.
+"""Compatibility shim — the kernels live in :mod:`repro.runtime.backends`.
 
-:meth:`repro.cim.macro.CimMacro.matmul` is the *reference* arithmetic:
-it materializes the full ``(input_bit, weight_bit, column, vector)``
-ON-cell count tensor in float64 and pushes it through the bit-line and
-ADC models one elementwise pass at a time.  That is exact but memory
-bound — for a deployed network the ADC chain alone dominates inference
-wall-clock.
-
-The kernels here compute the *bitwise-identical* result, restructured
-around three observations:
-
-1. ON-cell counts are exact small integers (at most the activated row
-   count), so the count contraction can run as a float32 GEMM with zero
-   rounding error, and the input bit planes can be built as float32
-   directly.
-2. Bit-line clipping/saturation and ADC quantization are elementwise
-   functions of an integer count in ``[0, rows_used]`` — a lookup table
-   precomputed at programming time with the exact reference arithmetic
-   applies both in one contiguous gather, replacing the dominant
-   divide/round/clip/scale passes.
-3. The final recombination einsum's floating-point reduction order
-   depends on the operand's memory layout and extents (numpy switches
-   between a single-shot elementwise loop and BLAS contraction chains
-   by problem size), so the fast path may not substitute a reordered
-   reduction.  Instead the count GEMM is oriented to emit its result
-   directly in the layout the reference chain produces (C-order
-   ``(weight_bit, column, input_bit, vector)``), and the recombination
-   executes the reference einsum on that layout — every output bit
-   matches the reference by construction, with no transpose copy.  Per
-   operand shape, a one-time self-check additionally proves whether the
-   einsum front-end can be bypassed (direct ``c_einsum``, or replaying
-   the captured contraction list through numpy's own ``bmm_einsum``)
-   while reproducing the ``optimize=True`` bits exactly; shapes that
-   fail the check keep the plain einsum call.  The front-end parse
-   otherwise dominates per-tile serving-sized calls.
-
-Two further exact shortcuts: the total ON-cell count needed for energy
-accounting factorizes over rows (both factors are exact integers), and
-when the composed bit-line + ADC transfer is the identity on the
-reachable counts (activated rows within ADC resolution) the gather is
-skipped entirely.
-
-``tests/test_runtime.py`` pins the bitwise equivalence against the
-reference path across shapes, signedness and batch extents.  Anything
-the fast path cannot reproduce exactly (bit-line noise draws, pulse
-encodings) falls back to the reference implementation at the call site.
+The optimized bit-serial kernels were re-homed as the
+``reference-fast`` backend
+(:mod:`repro.runtime.backends.reference_fast`) when the pluggable
+backend layer landed; every public name keeps importing from here.
 """
 
-from __future__ import annotations
+from repro.runtime.backends.reference_fast import (  # noqa: F401
+    MacroBitSerialKernel,
+    TiledBitSerialKernel,
+    _StatsAccumulator,
+    _TileGroup,
+    _recombine_einsum,
+)
 
-from typing import List, Tuple
-
-import numpy as np
-
-from repro.cim.macro import CimMacro, MacroConfig, MacroStats, macro_pass_stats
-from repro.cim.mvm import CimTiledMatmul
-
-try:  # numpy >= 2.3 executes pairwise einsum contractions through this
-    from numpy._core.einsumfunc import bmm_einsum as _bmm_einsum
-except Exception:  # pragma: no cover - older numpy
-    _bmm_einsum = None
-
-
-class MacroBitSerialKernel:
-    """Exact fast bit-serial matmul for one programmed :class:`CimMacro`.
-
-    Program-time artifacts (the float32 weight-plane matrix and the
-    bit-line + ADC lookup table) are built once; every call then runs
-    bit-plane extraction -> GEMM -> gather -> recombine.
-
-    This is the single-macro form of the pipeline, kept as an
-    independently testable validation surface against
-    :meth:`CimMacro.matmul`; the production engines execute through
-    :class:`TiledBitSerialKernel`, which fuses the same stages across a
-    whole :class:`~repro.cim.mvm.CimTiledMatmul`.
-    """
-
-    def __init__(self, macro: CimMacro):
-        config = macro.config
-        if not self.supported(config):
-            raise ValueError(
-                "fast bit-serial kernel requires a noise-free bit line; "
-                "use the reference CimMacro.matmul path instead"
-            )
-        self.macro = macro
-        planes = macro._weight_planes  # (wb, rows, cols), 0/1 float64
-        wb, rows, cols = planes.shape
-        # (wb * cols, rows) float32 GEMM operand: counts stay exact.
-        self._planes32 = np.ascontiguousarray(
-            planes.transpose(0, 2, 1).reshape(wb * cols, rows), dtype=np.float32
-        )
-        # Per-row ON-cell totals: the factorized count sum for stats.
-        self._plane_row_sums = planes.sum(axis=(0, 2))  # (rows,), exact ints
-        # Bit-line observation + ADC quantization composed over every
-        # reachable integer count, with the exact reference arithmetic.
-        domain = np.arange(macro.rows_used + 1, dtype=np.float64)
-        observed = config.bitline.observe(domain, None)
-        self._lut = config.adc.quantize_counts(observed, float(macro.rows_used))
-        self._lut_is_identity = bool(np.array_equal(self._lut, domain))
-        self._idx_dtype = np.uint8 if macro.rows_used <= 255 else np.int64
-        self._path_cache: dict = {}
-
-    @staticmethod
-    def supported(config: MacroConfig) -> bool:
-        """True when the fast path is bit-exact for this configuration."""
-        return (
-            config.bitline is not None
-            and config.bitline.noise_sigma_counts == 0
-        )
-
-    def matmul(self, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
-        """Bitwise-identical replacement for :meth:`CimMacro.matmul`.
-
-        ``x`` is an integer code matrix of shape ``(rows_used, n)``.
-        """
-        macro = self.macro
-        config = macro.config
-        x = np.asarray(x)
-        if x.shape[0] != macro.rows_used:
-            raise ValueError(
-                f"input has {x.shape[0]} rows, macro is programmed with "
-                f"{macro.rows_used}"
-            )
-        low, high = config.input_range()
-        if x.min() < low or x.max() > high:
-            raise ValueError(
-                f"input codes outside [{low}, {high}] for "
-                f"{config.input_bits}-bit serial input"
-            )
-
-        ib = config.input_bits
-        wb = config.weight_bits
-        rows, cols = macro.rows_used, macro.cols_used
-        n = x.shape[1]
-
-        # Input bit planes as the float32 (rows, ib * n) GEMM operand;
-        # plane values are 0/1 so float32 is exact.
-        codes = np.asarray(x, dtype=np.int64)
-        unsigned = codes & ((1 << ib) - 1)  # two's-complement reinterpretation
-        planes32 = np.empty((rows, ib, n), dtype=np.float32)
-        row_activations = 0
-        for j in range(ib):
-            plane = (unsigned >> j) & 1
-            row_activations += int(plane.sum())
-            planes32[:, j, :] = plane
-        in_weights = np.array([float(1 << j) for j in range(ib)])
-        if config.signed_inputs:
-            in_weights[ib - 1] = -float(1 << (ib - 1))
-
-        # counts, C-contiguous (wb * cols, ib * n) — the reference
-        # chain's memory layout for (k, c, j, n); exact integers ≤ rows.
-        counts = np.matmul(self._planes32, planes32.reshape(rows, ib * n))
-        # The count total factorizes over rows; every factor and partial
-        # sum is an exact integer, so this equals counts.sum() bitwise.
-        counts_total = float(
-            np.dot(planes32.sum(axis=(1, 2), dtype=np.float64), self._plane_row_sums)
-        )
-        # Composed bit-line + ADC transfer.  Indices are exact integers
-        # in [0, rows_used]; skip the gather when the transfer is the
-        # identity on that domain.
-        if self._lut_is_identity:
-            quantized = counts.astype(np.float64)
-        else:
-            quantized = self._lut[counts.astype(self._idx_dtype)]
-        # View in the logical (j, k, c, n) index order — the memory
-        # layout matches the reference chain's, so this is the identical
-        # einsum call and reduction order, bit for bit.
-        quantized = quantized.reshape(wb, cols, ib, n).transpose(2, 0, 1, 3)
-        result = _recombine_einsum(
-            self._path_cache, in_weights, macro._plane_weights, quantized
-        )
-
-        stats = macro_pass_stats(
-            config,
-            macro.rows_used,
-            macro.cols_used,
-            n_vectors=n,
-            row_activations=row_activations,
-            counts_total=counts_total,
-        )
-        return result, stats
-
-
-def _recombine_einsum(
-    path_cache: dict,
-    in_weights: np.ndarray,
-    plane_weights: np.ndarray,
-    quantized: np.ndarray,
-) -> np.ndarray:
-    """The reference recombination einsum, with per-shape dispatch.
-
-    ``np.einsum(optimize=True)`` pays a path search and parse on every
-    call, which dominates per-tile serving-sized calls.  The contraction
-    list it would execute depends only on the operand *shapes*, so on
-    the first call for each shape that list is captured and replayed
-    directly on later calls — the identical contraction sequence (same
-    intermediates, same reduction order, same bits) minus the per-call
-    front-end.  The classification is structural, never inferred from
-    runtime values (a degenerate batch — e.g. all zeros — must not be
-    able to poison the cached mode for its shape); the first call's
-    numerical comparison acts only as a veto that drops the shape back
-    to the plain einsum call if the replay machinery ever disagrees
-    with numpy's own execution.
-    """
-    key = quantized.shape
-    mode = path_cache.get(key)
-    if mode is None:
-        reference = np.einsum(
-            "j,k,jkcn->cn", in_weights, plane_weights, quantized, optimize=True
-        )
-        steps = _capture_contraction_steps(in_weights, plane_weights, quantized)
-        mode = "einsum"
-        if steps is not None:
-            try:
-                replay = _replay_steps(steps, in_weights, plane_weights, quantized)
-            except Exception:  # pragma: no cover - numpy internals moved
-                replay = None
-            if replay is not None and np.array_equal(reference, replay):
-                mode = steps
-        path_cache[key] = mode
-        return reference
-    if mode == "einsum":
-        return np.einsum(
-            "j,k,jkcn->cn", in_weights, plane_weights, quantized, optimize=True
-        )
-    return _replay_steps(mode, in_weights, plane_weights, quantized)
-
-
-def _capture_contraction_steps(in_weights, plane_weights, quantized):
-    """The pairwise contraction list ``np.einsum(optimize=True)`` would
-    execute for these operands, or None when it cannot be captured."""
-    if _bmm_einsum is None:
-        return None
-    try:
-        _, contractions = np.einsum_path(
-            "j,k,jkcn->cn",
-            in_weights,
-            plane_weights,
-            quantized,
-            optimize=True,
-            einsum_call=True,
-        )
-        steps = []
-        for contraction in contractions:
-            inds = contraction[0]
-            einsum_str = next(
-                part for part in contraction if isinstance(part, str)
-            )
-            steps.append((tuple(inds), einsum_str))
-        return tuple(steps)
-    except Exception:  # pragma: no cover - numpy internals moved
-        return None
-
-
-def _replay_steps(steps, in_weights, plane_weights, quantized):
-    """Execute a captured contraction list exactly as ``np.einsum`` does
-    — ``bmm_einsum`` per pairwise step — minus the per-call path
-    parsing, which dominates serving-sized tiles.  Only used for operand
-    shapes where :func:`_recombine_einsum` proved the result bitwise
-    equal to the ``optimize=True`` call.
-    """
-    operands = [in_weights, plane_weights, quantized]
-    for inds, einsum_str in steps:
-        tmp_operands = [operands.pop(x) for x in inds]
-        if len(tmp_operands) == 2:
-            new_view = _bmm_einsum(einsum_str, *tmp_operands)
-        else:
-            new_view = np.einsum(einsum_str, *tmp_operands, optimize=False)
-        operands.append(new_view)
-    return operands[-1]
-
-
-class _TileGroup:
-    """Tiles sharing one row block, executed through one fused GEMM.
-
-    Column tiles of the same rows consume the same input bit planes, so
-    their float32 weight-plane matrices are stacked into one operand:
-    one GEMM and one ADC gather cover the whole block, and each tile's
-    quantized slice is a contiguous view in exactly the per-tile
-    reference layout — the per-tile einsum calls (and therefore every
-    output bit) are unchanged.
-    """
-
-    def __init__(self, row_start: int, row_stop: int, tiles: List):
-        self.row_start = row_start
-        self.row_stop = row_stop
-        self.tiles = tiles
-        macro0 = tiles[0].macro
-        config = macro0.config
-        rows = macro0.rows_used
-        wb = config.weight_bits
-        self.planes32 = np.concatenate(
-            [
-                tile.macro._weight_planes.transpose(0, 2, 1).reshape(
-                    wb * tile.macro.cols_used, rows
-                )
-                for tile in tiles
-            ]
-        ).astype(np.float32)
-        self.offsets = np.cumsum(
-            [0] + [wb * tile.macro.cols_used for tile in tiles]
-        )
-        domain = np.arange(rows + 1, dtype=np.float64)
-        observed = config.bitline.observe(domain, None)
-        self.lut = config.adc.quantize_counts(observed, float(rows))
-        self.lut_is_identity = bool(np.array_equal(self.lut, domain))
-        self.idx_dtype = np.uint8 if rows <= 255 else np.int64
-        self.plane_row_sums = [
-            tile.macro._weight_planes.sum(axis=(0, 2)) for tile in tiles
-        ]
-
-
-class TiledBitSerialKernel:
-    """Fast executor over every tile of a :class:`CimTiledMatmul`.
-
-    Mirrors :meth:`CimTiledMatmul.matmul` exactly — per-tile partial
-    sums accumulate in tile order, latency is the slowest tile — while
-    fusing the bit-plane extraction (once per call), GEMM and ADC
-    gather (once per row block) across tiles.
-    """
-
-    def __init__(self, engine: CimTiledMatmul):
-        config = engine.config
-        if not self.supported(config):
-            raise ValueError(
-                "fast bit-serial kernel requires a noise-free bit line; "
-                "use the reference CimTiledMatmul.matmul path instead"
-            )
-        self.engine = engine
-        groups: dict = {}
-        for tile in engine.tiles:
-            groups.setdefault((tile.row_start, tile.row_stop), []).append(tile)
-        self._groups: List[_TileGroup] = [
-            _TileGroup(r0, r1, tiles) for (r0, r1), tiles in groups.items()
-        ]
-        self._path_cache: dict = {}
-        self._fused_cache: dict = {}
-
-    @staticmethod
-    def supported(config: MacroConfig) -> bool:
-        return MacroBitSerialKernel.supported(config)
-
-    def matmul(self, x: np.ndarray) -> Tuple[np.ndarray, MacroStats]:
-        engine = self.engine
-        config = engine.config
-        x = np.asarray(x)
-        squeeze = x.ndim == 1
-        if squeeze:
-            x = x[:, None]
-        if x.shape[0] != engine.shape[0]:
-            raise ValueError(
-                f"input rows {x.shape[0]} do not match weight rows "
-                f"{engine.shape[0]}"
-            )
-        # Reference path: each tile's macro validates its input slice;
-        # the slices tile the same rows, so validating once is the same
-        # check with the same error.
-        low, high = config.input_range()
-        if x.min() < low or x.max() > high:
-            raise ValueError(
-                f"input codes outside [{low}, {high}] for "
-                f"{config.input_bits}-bit serial input"
-            )
-
-        ib = config.input_bits
-        wb = config.weight_bits
-        rows_total = x.shape[0]
-        n = x.shape[1]
-
-        # Input bit planes for the whole engine, once per call.
-        codes = np.asarray(x, dtype=np.int64)
-        unsigned = codes & ((1 << ib) - 1)  # two's-complement reinterpretation
-        planes32 = np.empty((rows_total, ib, n), dtype=np.float32)
-        for j in range(ib):
-            planes32[:, j, :] = (unsigned >> j) & 1
-        in_weights = np.array([float(1 << j) for j in range(ib)])
-        if config.signed_inputs:
-            in_weights[ib - 1] = -float(1 << (ib - 1))
-
-        out = np.zeros((engine.shape[1], n))
-        # Scalar accumulators: same per-field addition order as the
-        # reference's sequential MacroStats.__add__ chain.
-        acc = _StatsAccumulator()
-        for group in self._groups:
-            block = planes32[group.row_start : group.row_stop]
-            rows_used = group.row_stop - group.row_start
-            # One GEMM and one gather for every column tile of the block.
-            counts = np.matmul(
-                group.planes32, block.reshape(rows_used, ib * n)
-            )  # C-contiguous (sum of wb*cols, ib*n): stacked (k, c, j, n)
-            if group.lut_is_identity:
-                quantized = counts.astype(np.float64)
-            else:
-                quantized = group.lut[counts.astype(group.idx_dtype)]
-            # Per-row plane totals: exact integers, shared by the block.
-            row_sums = block.sum(axis=(1, 2), dtype=np.float64)
-            row_activations = int(row_sums.sum())
-            partials = self._recombine_group(
-                group, quantized, in_weights, wb, ib, n
-            )
-            for index, tile in enumerate(group.tiles):
-                macro = tile.macro
-                counts_total = float(
-                    np.dot(row_sums, group.plane_row_sums[index])
-                )
-                out[tile.col_start : tile.col_stop] += partials[index]
-                acc.add(
-                    macro_pass_stats(
-                        macro.config,
-                        macro.rows_used,
-                        macro.cols_used,
-                        n_vectors=n,
-                        row_activations=row_activations,
-                        counts_total=counts_total,
-                    )
-                )
-        total = acc.finish()
-        return (out[:, 0] if squeeze else out), total
-
-    def _recombine_per_tile(self, group, quantized, in_weights, wb, ib, n):
-        """The reference recombination: one einsum call per column tile.
-
-        Each tile's slice of the block's quantized matrix is C-contiguous
-        in the exact per-tile reference layout, viewed as (j, k, c, n).
-        """
-        partials = []
-        for index, tile in enumerate(group.tiles):
-            cols = tile.macro.cols_used
-            q_tile = quantized[
-                group.offsets[index] : group.offsets[index + 1]
-            ].reshape(wb, cols, ib, n).transpose(2, 0, 1, 3)
-            partials.append(
-                _recombine_einsum(
-                    self._path_cache, in_weights, tile.macro._plane_weights, q_tile
-                )
-            )
-        return partials
-
-    def _recombine_group(self, group, quantized, in_weights, wb, ib, n):
-        """Recombine every column tile of a row block, fused when proven.
-
-        Serving-sized calls are dominated by per-tile einsum dispatch, so
-        equal-width column tiles are recombined in **one** einsum over the
-        concatenated columns.  Like the per-shape dispatch in
-        :func:`_recombine_einsum`, the fused mode is adopted per
-        ``(group, n)`` only after a first-call veto proved its result
-        bitwise equal to the per-tile reference calls — einsum may pick a
-        different contraction order for the wider operand, and any shape
-        where that changes one bit stays on the per-tile path forever.
-        """
-        tiles = group.tiles
-        # Fusion trades one reorder copy of the block for T-1 fewer
-        # einsum dispatches: a win only while dispatch dominates, i.e.
-        # for serving-sized vector counts.  The guard is purely shape-
-        # based (never value-based), so which path runs is deterministic
-        # — and both paths are veto-proven bitwise equal anyway.
-        if len(tiles) == 1 or n * ib > 256:
-            return self._recombine_per_tile(group, quantized, in_weights, wb, ib, n)
-        key = (id(group), n)
-        mode = self._fused_cache.get(key)
-        if mode == "per-tile":
-            return self._recombine_per_tile(group, quantized, in_weights, wb, ib, n)
-        cols = tiles[0].macro.cols_used
-        uniform = all(tile.macro.cols_used == cols for tile in tiles)
-        if mode is None:
-            partials = self._recombine_per_tile(
-                group, quantized, in_weights, wb, ib, n
-            )
-            mode = "per-tile"
-            if uniform:
-                fused = self._recombine_fused(
-                    tiles, quantized, in_weights, wb, ib, n, cols
-                )
-                if all(
-                    np.array_equal(a, b) for a, b in zip(partials, fused)
-                ):
-                    mode = "fused"
-            self._fused_cache[key] = mode
-            return partials
-        return self._recombine_fused(tiles, quantized, in_weights, wb, ib, n, cols)
-
-    def _recombine_fused(self, tiles, quantized, in_weights, wb, ib, n, cols):
-        """One einsum over the whole row block's columns.
-
-        The block's quantized matrix stacks tiles as (t, k, c) chunks;
-        reordering to (k, t·c) makes the group one wide logical tile, and
-        slicing the result recovers each tile's partial.
-        """
-        t = len(tiles)
-        q_fused = np.ascontiguousarray(
-            quantized.reshape(t, wb, cols, ib, n).transpose(1, 0, 2, 3, 4)
-        ).reshape(wb, t * cols, ib, n).transpose(2, 0, 1, 3)
-        result = _recombine_einsum(
-            self._path_cache, in_weights, tiles[0].macro._plane_weights, q_fused
-        )
-        return [result[i * cols : (i + 1) * cols] for i in range(t)]
-
-
-class _StatsAccumulator:
-    """Accumulates per-tile macro stats with the reference's exact
-    field-by-field addition order; wall-clock latency is the slowest
-    tile, matching :meth:`CimTiledMatmul.matmul`."""
-
-    def __init__(self):
-        self.cycles = 0
-        self.adc_conversions = 0
-        self.row_activations = 0
-        self.macs = 0
-        self.wl_energy_fj = 0.0
-        self.bitline_energy_fj = 0.0
-        self.adc_energy_fj = 0.0
-        self.peripheral_energy_fj = 0.0
-        self.max_latency_ns = 0.0
-
-    def add(self, stats: MacroStats) -> None:
-        self.cycles += stats.cycles
-        self.adc_conversions += stats.adc_conversions
-        self.row_activations += stats.row_activations
-        self.macs += stats.macs
-        self.wl_energy_fj += stats.wl_energy_fj
-        self.bitline_energy_fj += stats.bitline_energy_fj
-        self.adc_energy_fj += stats.adc_energy_fj
-        self.peripheral_energy_fj += stats.peripheral_energy_fj
-        self.max_latency_ns = max(self.max_latency_ns, stats.latency_ns)
-
-    def finish(self) -> MacroStats:
-        return MacroStats(
-            cycles=self.cycles,
-            adc_conversions=self.adc_conversions,
-            row_activations=self.row_activations,
-            macs=self.macs,
-            wl_energy_fj=self.wl_energy_fj,
-            bitline_energy_fj=self.bitline_energy_fj,
-            adc_energy_fj=self.adc_energy_fj,
-            peripheral_energy_fj=self.peripheral_energy_fj,
-            latency_ns=self.max_latency_ns,
-        )
+__all__ = ["MacroBitSerialKernel", "TiledBitSerialKernel"]

@@ -81,6 +81,7 @@ from repro.runtime.engine import (
     conv_engine_key,
     linear_engine_key,
 )
+from repro.runtime.backends import DEFAULT_BACKEND, get_backend
 from repro.runtime.kernels import TiledBitSerialKernel, _TileGroup
 from repro.runtime.sharded import ShardedModel, ShardPlan, ShardSegment
 from repro.runtime.sharded import shard as _shard
@@ -93,8 +94,10 @@ FORMAT = "repro-compiled-model"
 #: old artifacts *miss* (recompile-and-resave) rather than error.
 #: History: 1 — linear step plans; 2 — DAG plan IR (residual composites
 #: as first-class module kinds, per-group engines for grouped convs,
-#: plan topology recorded in the header).
-VERSION = 2
+#: plan topology recorded in the header); 3 — kernel-backend provenance
+#: (tuned winner + backend request per engine, so warm starts rebuild
+#: autotuned kernels without re-benchmarking).
+VERSION = 3
 
 #: Leading bytes of every artifact container file.
 MAGIC = b"RCMA1\n"
@@ -251,6 +254,8 @@ def _runtime_config_to_meta(config: RuntimeConfig) -> Dict[str, Any]:
         "encoding": _encoding_to_meta(config.encoding),
         "fold_bn": bool(config.fold_bn),
         "assume_signed_input": bool(config.assume_signed_input),
+        "backend": config.backend,
+        "tune_probe_n": int(config.tune_probe_n),
     }
 
 
@@ -268,6 +273,8 @@ def _runtime_config_from_meta(meta: Dict[str, Any]) -> RuntimeConfig:
         encoding=_encoding_from_meta(meta["encoding"]),
         fold_bn=meta["fold_bn"],
         assume_signed_input=meta["assume_signed_input"],
+        backend=meta.get("backend"),
+        tune_probe_n=int(meta.get("tune_probe_n", 1)),
     )
 
 
@@ -649,6 +656,13 @@ def serialize_engine(engine, tag: str, arrays: Dict[str, np.ndarray]) -> Dict[st
     arrays[f"{tag}_scale"] = np.asarray(linear.w_scale, dtype=np.float64)
     kernel = linear._kernel
     meta["kernel_groups"] = 0 if kernel is None else len(kernel._groups)
+    # Kernel-backend provenance (format v3): the resolved winner, the
+    # caller's request (part of the engine's cache identity), and
+    # whether the winner came from the autotuner — a warm start rebuilds
+    # the tuned kernel from these without re-benchmarking anything.
+    meta["backend"] = None if kernel is None else type(kernel).backend_name
+    meta["backend_request"] = getattr(linear, "backend_request", None)
+    meta["tuned"] = bool(getattr(linear, "tuned", False))
     if kernel is not None:
         for g, group in enumerate(kernel._groups):
             arrays[f"{tag}_g{g}"] = np.packbits(group.planes32.astype(np.uint8))
@@ -793,6 +807,28 @@ def restore_engine(meta: Dict[str, Any], arrays):
         # writer's behaviour) still restores correctly, just colder.
         linear._kernel = TiledBitSerialKernel(linear.engine)
 
+    # Re-adopt the recorded backend winner (format v3).  The restored
+    # reference kernel's tile groups are shared, so adoption only
+    # re-derives the winner's own layout (e.g. packed popcount words) —
+    # never a re-benchmark.  A winner this process cannot build (say,
+    # popcount without np.bitwise_count) degrades to the reference
+    # kernel; serving stays bitwise identical either way.
+    backend = meta.get("backend") or DEFAULT_BACKEND
+    tuned = bool(meta.get("tuned", False))
+    if linear._kernel is not None and backend != DEFAULT_BACKEND:
+        try:
+            cls = get_backend(backend)
+        except KeyError:
+            cls = None
+        if cls is not None and cls.supported(linear.run_config):
+            linear._kernel = cls.adopt(linear._kernel)
+        else:
+            backend, tuned = DEFAULT_BACKEND, False
+    linear.backend_request = meta.get("backend_request")
+    linear.kernel_backend = backend if linear._kernel is not None else None
+    linear.tuned = tuned if linear._kernel is not None else False
+    linear.tune_report = None
+
     if meta["kind"] == "linear":
         return linear
     conv = ProgrammedConv.__new__(ProgrammedConv)
@@ -806,6 +842,10 @@ def restore_engine(meta: Dict[str, Any], arrays):
 
 def _engine_cache_key(meta: Dict[str, Any], layer_id: str, fingerprint: str) -> EngineKey:
     config = _macro_config_from_meta(meta["config"])
+    # The *request* (None / "auto" / a pinned name) is the cache
+    # identity, not the resolved winner — a runtime asking for "auto"
+    # must hit the snapshot-seeded entry that was compiled with "auto".
+    backend = meta.get("backend_request")
     if meta["kind"] == "conv":
         return conv_engine_key(
             None,
@@ -816,6 +856,7 @@ def _engine_cache_key(meta: Dict[str, Any], layer_id: str, fingerprint: str) -> 
             meta["signed_inputs"],
             layer_id,
             fingerprint,
+            backend=backend,
         )
     return linear_engine_key(
         None,
@@ -824,6 +865,7 @@ def _engine_cache_key(meta: Dict[str, Any], layer_id: str, fingerprint: str) -> 
         meta["signed_inputs"],
         layer_id,
         fingerprint,
+        backend=backend,
     )
 
 
@@ -1162,9 +1204,20 @@ class ArtifactStore:
 _log = get_logger("runtime.snapshot")
 
 
-def save(compiled, store: ArtifactStore, *, key: Optional[str] = None) -> str:
+def save(
+    compiled,
+    store: ArtifactStore,
+    *,
+    key: Optional[str] = None,
+    created_at: Optional[float] = None,
+) -> str:
     """Serialize ``compiled`` (a :class:`CompiledModel` or
     :class:`ShardedModel`) into ``store``; returns the artifact key.
+
+    ``created_at`` stamps the header (defaults to the wall clock).  It
+    is the *only* nondeterministic byte in an artifact — pass a fixed
+    value and two saves of the same compiled model are byte-identical,
+    which is what reproducible-build and artifact-diffing flows want.
 
     ``key`` defaults to :func:`artifact_key` of the compiled model's
     weights, config and shard layout (``fold_bn`` models hash to their
@@ -1208,7 +1261,7 @@ def save(compiled, store: ArtifactStore, *, key: Optional[str] = None) -> str:
 
     meta: Dict[str, Any] = {
         "payload": "model",
-        "created_at": time.time(),
+        "created_at": float(created_at) if created_at is not None else time.time(),
         "runtime_config": _runtime_config_to_meta(base.config),
         "module_tree": spec,
         "fingerprints": fingerprints,

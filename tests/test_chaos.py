@@ -194,8 +194,8 @@ class TestScheduleSurface:
 # Zero-magnitude differential matrix
 # ----------------------------------------------------------------------
 class TestZeroMagnitudeIdentity:
-    @pytest.mark.parametrize("seed", [0, 7])
-    @pytest.mark.parametrize("n_shards", [2, 4])
+    @pytest.mark.parametrize("seed", [0, pytest.param(7, marks=pytest.mark.slow)])
+    @pytest.mark.parametrize("n_shards", [2, pytest.param(4, marks=pytest.mark.slow)])
     @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
     def test_bitwise_identical_to_clean_stream(self, name, n_shards, seed):
         compiled = compiled_model(name)
@@ -245,8 +245,8 @@ class TestZeroMagnitudeIdentity:
 # Failover
 # ----------------------------------------------------------------------
 class TestFailover:
-    @pytest.mark.parametrize("seed", [0, 7])
-    @pytest.mark.parametrize("n_shards", [2, 4])
+    @pytest.mark.parametrize("seed", [0, pytest.param(7, marks=pytest.mark.slow)])
+    @pytest.mark.parametrize("n_shards", [2, pytest.param(4, marks=pytest.mark.slow)])
     @pytest.mark.parametrize("name", ["conv", "resnet8"])
     def test_death_failover_delivers_bitwise(self, name, n_shards, seed):
         compiled = compiled_model(name)
